@@ -1,0 +1,117 @@
+// cabench runs one throughput sweep of the paper's evaluation: a data
+// structure crossed with reclamation schemes, thread counts, and update
+// rates, reporting operations per million simulated cycles.
+//
+// Examples:
+//
+//	cabench -ds list -updates 0,10,100 -threads 1,2,4,8,16,32   # Figure 1 top
+//	cabench -ds bst -range 10000                                # Figure 1 bottom
+//	cabench -ds hash                                            # Figure 2 top
+//	cabench -ds stack                                           # Figure 2 bottom
+//	cabench -ds list -schemes ca,rcu -check                     # with safety assertions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"condaccess/internal/bench"
+)
+
+func main() {
+	var (
+		ds      = flag.String("ds", "list", "data structure: list, bst, hash, stack, queue")
+		schemes = flag.String("schemes", "none,ca,ibr,rcu,qsbr,hp,he", "comma-separated schemes")
+		threads = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
+		updates = flag.String("updates", "0,10,100", "comma-separated update percentages")
+		ops     = flag.Int("ops", 3000, "operations per thread (paper: 3000)")
+		keys    = flag.Uint64("range", 0, "key range (default: paper's per-structure value)")
+		buckets = flag.Int("buckets", 128, "hash table buckets")
+		seed    = flag.Uint64("seed", 1, "base RNG seed")
+		trials  = flag.Int("trials", 1, "trials per point, throughput averaged (paper: 3)")
+		check   = flag.Bool("check", false, "enable use-after-free and Theorem 6/7 assertions")
+		csvPath = flag.String("csv", "", "also write long-form CSV to this file")
+		verbose = flag.Bool("v", false, "print each point as it completes")
+		dist    = flag.String("dist", "uniform", "key distribution: uniform or zipf")
+		lat     = flag.Bool("lat", false, "also print per-point latency percentiles")
+	)
+	flag.Parse()
+
+	kr := *keys
+	if kr == 0 {
+		kr = 1000 // paper: list, stack, hash use 1K keys
+		if *ds == "bst" {
+			kr = 10000 // paper: extbst uses 10K keys
+		}
+	}
+	cfg := bench.SweepConfig{
+		DS:       *ds,
+		Schemes:  splitList(*schemes),
+		Threads:  splitInts(*threads),
+		Updates:  splitInts(*updates),
+		KeyRange: kr, Ops: *ops, Buckets: *buckets,
+		Seed: *seed, Check: *check, Trials: *trials,
+		Dist: *dist, RecordLatency: *lat,
+	}
+	var progress func(bench.SweepPoint)
+	if *verbose || *lat {
+		progress = func(p bench.SweepPoint) {
+			fmt.Fprintf(os.Stderr, "  %-5s t=%-2d u=%3d%%: %10.1f ops/Mcyc",
+				p.Scheme, p.Threads, p.UpdatePct, p.Throughput)
+			if *lat {
+				l := p.Result.Latency
+				fmt.Fprintf(os.Stderr, "  p50=%d p99=%d p99.9=%d max=%d", l.P50, l.P99, l.P999, l.Max)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	points, err := bench.Sweep(cfg, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cabench:", err)
+		os.Exit(1)
+	}
+	for _, u := range cfg.Updates {
+		fmt.Printf("== %s, %d%% updates (%di-%dd), %d keys, %d ops/thread [ops/Mcyc] ==\n",
+			*ds, u, u/2, u/2, kr, *ops)
+		fmt.Print(bench.FormatTable(points, u))
+		fmt.Println()
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cabench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := bench.WriteCSV(f, *ds, points); err != nil {
+			fmt.Fprintln(os.Stderr, "cabench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) []int {
+	var out []int
+	for _, p := range splitList(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cabench: bad integer %q\n", p)
+			os.Exit(1)
+		}
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// camem regenerates the paper's Figure 3: the number of nodes allocated but
+// not yet freed, sampled as a lazy list runs a 100% update workload. The
+// paper's configuration is the default: key range 1000 (list size ~500), 16
+// threads, 5000 operations per thread, sampled every 1000 operations.
+//
+// Expected shape: ca stays flat at the live list size (~500); hp/he/ibr
+// plateau at their reclamation thresholds; rcu/qsbr ride higher; none grows
+// without bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"condaccess/internal/bench"
+)
+
+func main() {
+	var (
+		schemes = flag.String("schemes", "none,ca,ibr,rcu,qsbr,hp,he", "comma-separated schemes")
+		threads = flag.Int("threads", 16, "threads (paper: 16)")
+		keys    = flag.Uint64("range", 1000, "key range (paper: 1000)")
+		ops     = flag.Int("ops", 5000, "operations per thread (paper: 5000)")
+		every   = flag.Int("sample", 1000, "sample footprint every N total ops (paper: 1000)")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		check   = flag.Bool("check", false, "enable safety assertions")
+		csvPath = flag.String("csv", "", "also write CSV to this file")
+	)
+	flag.Parse()
+
+	names := []string{}
+	series := map[string]map[int]uint64{}
+	allOps := map[int]bool{}
+	for _, scheme := range strings.Split(*schemes, ",") {
+		scheme = strings.TrimSpace(scheme)
+		if scheme == "" {
+			continue
+		}
+		res, err := bench.Run(bench.Workload{
+			DS: "list", Scheme: scheme,
+			Threads: *threads, KeyRange: *keys, UpdatePct: 100,
+			OpsPerThread: *ops, Seed: *seed, Check: *check,
+			FootprintEvery: *every,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "camem:", err)
+			os.Exit(1)
+		}
+		names = append(names, scheme)
+		series[scheme] = map[int]uint64{}
+		for _, s := range res.Footprint {
+			series[scheme][s.AfterOps] = s.Live
+			allOps[s.AfterOps] = true
+		}
+	}
+
+	var xs []int
+	for x := range allOps {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+
+	var out strings.Builder
+	fmt.Fprintf(&out, "%-10s", "ops")
+	for _, n := range names {
+		fmt.Fprintf(&out, " %8s", n)
+	}
+	out.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&out, "%-10d", x)
+		for _, n := range names {
+			fmt.Fprintf(&out, " %8d", series[n][x])
+		}
+		out.WriteByte('\n')
+	}
+	fmt.Printf("Figure 3: allocated-but-not-freed nodes, lazy list, %d threads, 100%% updates\n", *threads)
+	fmt.Print(out.String())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "camem:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "ops,"+strings.Join(names, ","))
+		for _, x := range xs {
+			row := make([]string, 0, len(names)+1)
+			row = append(row, fmt.Sprint(x))
+			for _, n := range names {
+				row = append(row, fmt.Sprint(series[n][x]))
+			}
+			fmt.Fprintln(f, strings.Join(row, ","))
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// castat runs one workload per scheme and prints the microarchitectural
+// detail behind the paper's Section V narrative: cache hit/miss rates,
+// invalidations, remote forwards, Conditional Access activity (creads,
+// failures, revocations), reclaimer behaviour (retired/freed/backlog), and
+// per-operation latency percentiles.
+//
+// Example:
+//
+//	castat -ds list -threads 16 -updates 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"condaccess/internal/bench"
+)
+
+func main() {
+	var (
+		ds      = flag.String("ds", "list", "data structure: list, hmlist, bst, hash, stack, queue")
+		schemes = flag.String("schemes", "none,ca,ibr,rcu,qsbr,hp,he", "comma-separated schemes")
+		threads = flag.Int("threads", 16, "threads")
+		updates = flag.Int("updates", 100, "update percentage")
+		ops     = flag.Int("ops", 2000, "operations per thread")
+		keys    = flag.Uint64("range", 1000, "key range")
+		dist    = flag.String("dist", "uniform", "key distribution: uniform or zipf")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("%s, %d threads, %d%% updates, %d keys (%s), %d ops/thread\n\n",
+		*ds, *threads, *updates, *keys, *dist, *ops)
+	for _, scheme := range strings.Split(*schemes, ",") {
+		scheme = strings.TrimSpace(scheme)
+		if scheme == "" {
+			continue
+		}
+		res, err := bench.Run(bench.Workload{
+			DS: *ds, Scheme: scheme,
+			Threads: *threads, KeyRange: *keys, UpdatePct: *updates,
+			OpsPerThread: *ops, Seed: *seed, Dist: *dist,
+			RecordLatency: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "castat:", err)
+			os.Exit(1)
+		}
+		c := res.Cache
+		accesses := c.L1Hits + c.L1Misses
+		fmt.Printf("== %s: %.1f ops/Mcyc ==\n", scheme, res.Throughput)
+		fmt.Printf("  cache:   %d accesses, L1 hit %.2f%%, L2 miss %d, remote-fwd %d, invalidations %d, upgrades %d, L1 evictions %d\n",
+			accesses, 100*float64(c.L1Hits)/float64(max(accesses, 1)),
+			c.L2Misses, c.RemoteFwds, c.Invalidations, c.Upgrades, c.L1Evictions)
+		if scheme == "ca" {
+			a := res.CA
+			fmt.Printf("  ca:      %d creads (%d failed), %d cwrites (%d failed, %d untagged), %d revocations, max tagset %d\n",
+				a.CReads, a.CReadFails, a.CWrites, a.CWriteFails, a.Untagged, a.Revocations, a.MaxTagSet)
+		} else if scheme != "none" {
+			s := res.SMR
+			fmt.Printf("  smr:     retired %d, freed %d, scans %d, max backlog %d\n",
+				s.Retired, s.Freed, s.Scans, s.MaxBacklog)
+		}
+		fmt.Printf("  memory:  live %d nodes, peak %d, heap high-water %d lines\n",
+			res.Mem.NodeLive(), res.Mem.PeakLive, res.Mem.NodeAllocs-res.Mem.NodeFrees+res.Mem.InfraLines)
+		l := res.Latency
+		fmt.Printf("  latency: p50 %d, p90 %d, p99 %d, p99.9 %d, max %d cycles (retries %d)\n\n",
+			l.P50, l.P90, l.P99, l.P999, l.Max, res.Retries)
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

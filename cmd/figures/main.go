@@ -1,0 +1,265 @@
+// figures regenerates every table and figure of the paper's evaluation into
+// a results directory, printing panel summaries as it goes:
+//
+//	fig1list  — lazy list throughput (Fig. 1 top): 0/10/100% updates, 1..32 threads
+//	fig1bst   — external BST throughput (Fig. 1 bottom), 10K keys
+//	fig2hash  — chaining hash table throughput (Fig. 2 top), 128 buckets
+//	fig2stack — Treiber stack throughput (Fig. 2 bottom)
+//	fig3mem   — allocated-not-freed trace (Fig. 3), 16 threads, 100% updates
+//	assoc     — Section III ablation: L1 associativity vs CA spurious failures
+//	tuning    — Section I/V ablation: baselines' reclaim/epoch frequency
+//	            sensitivity vs CA's parameter-free operation
+//
+// Use -quick for a reduced-scale pass (minutes instead of tens of minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"condaccess/internal/bench"
+	"condaccess/internal/cache"
+	"condaccess/internal/smr"
+)
+
+var allSchemes = []string{"none", "ca", "ibr", "rcu", "qsbr", "hp", "he"}
+
+func main() {
+	var (
+		out    = flag.String("out", "results", "output directory for CSV files")
+		fig    = flag.String("fig", "all", "which figure: all, fig1list, fig1bst, fig2hash, fig2stack, fig3mem, assoc, tuning")
+		quick  = flag.Bool("quick", false, "reduced scale: fewer threads/ops/trials")
+		check  = flag.Bool("check", false, "enable safety assertions (slower)")
+		seed   = flag.Uint64("seed", 1, "base seed")
+		ntrial = flag.Int("trials", 0, "override trials per point (0: 3 full / 1 quick)")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
+	threads := []int{1, 2, 4, 8, 16, 32}
+	ops, trials, memOps := 3000, 3, 5000
+	if *quick {
+		threads = []int{1, 4, 16, 32}
+		ops, trials, memOps = 800, 1, 2000
+	}
+	if *ntrial > 0 {
+		trials = *ntrial
+	}
+
+	g := generator{out: *out, check: *check, seed: *seed, threads: threads, ops: ops, trials: trials, memOps: memOps}
+	jobs := map[string]func() error{
+		"fig1list":  g.fig1list,
+		"fig1bst":   g.fig1bst,
+		"fig2hash":  g.fig2hash,
+		"fig2stack": g.fig2stack,
+		"fig3mem":   g.fig3mem,
+		"assoc":     g.assoc,
+		"tuning":    g.tuning,
+		"smt":       g.smt,
+		"hmlist":    g.hmlist,
+	}
+	order := []string{"fig1list", "fig1bst", "fig2hash", "fig2stack", "fig3mem", "assoc", "tuning", "smt", "hmlist"}
+	for _, name := range order {
+		if *fig != "all" && *fig != name {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("### %s\n", name)
+		if err := jobs[name](); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s done in %v\n\n", name, time.Since(start).Round(time.Second))
+	}
+}
+
+type generator struct {
+	out     string
+	check   bool
+	seed    uint64
+	threads []int
+	ops     int
+	trials  int
+	memOps  int
+}
+
+func (g generator) sweepFig(name, ds string, keyRange uint64) error {
+	cfg := bench.SweepConfig{
+		DS: ds, Schemes: allSchemes, Threads: g.threads,
+		Updates: []int{0, 10, 100}, KeyRange: keyRange,
+		Ops: g.ops, Buckets: 128, Seed: g.seed, Check: g.check, Trials: g.trials,
+	}
+	points, err := bench.Sweep(cfg, nil)
+	if err != nil {
+		return err
+	}
+	for _, u := range cfg.Updates {
+		fmt.Printf("-- %s %d%% updates [ops/Mcyc] --\n%s", ds, u, bench.FormatTable(points, u))
+	}
+	f, err := os.Create(filepath.Join(g.out, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return bench.WriteCSV(f, ds, points)
+}
+
+func (g generator) fig1list() error  { return g.sweepFig("fig1_list", "list", 1000) }
+func (g generator) fig1bst() error   { return g.sweepFig("fig1_bst", "bst", 10000) }
+func (g generator) fig2hash() error  { return g.sweepFig("fig2_hash", "hash", 1000) }
+func (g generator) fig2stack() error { return g.sweepFig("fig2_stack", "stack", 1000) }
+
+func (g generator) fig3mem() error {
+	f, err := os.Create(filepath.Join(g.out, "fig3_mem.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "scheme,ops,live_nodes")
+	for _, scheme := range allSchemes {
+		res, err := bench.Run(bench.Workload{
+			DS: "list", Scheme: scheme,
+			Threads: 16, KeyRange: 1000, UpdatePct: 100,
+			OpsPerThread: g.memOps, Seed: g.seed, Check: g.check,
+			FootprintEvery: 1000,
+		})
+		if err != nil {
+			return err
+		}
+		last := res.Footprint[len(res.Footprint)-1]
+		fmt.Printf("%-5s: final live %5d after %d ops (peak %d)\n",
+			scheme, last.Live, last.AfterOps, res.Mem.PeakLive)
+		for _, s := range res.Footprint {
+			fmt.Fprintf(f, "%s,%d,%d\n", scheme, s.AfterOps, s.Live)
+		}
+	}
+	return nil
+}
+
+// assoc reproduces the Section III claim that L1 associativity (the tagSet
+// capacity bound) has no significant impact: spurious revocations from
+// self-evictions stay negligible even at low associativity.
+func (g generator) assoc() error {
+	f, err := os.Create(filepath.Join(g.out, "ablation_assoc.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "l1_assoc,ops_per_mcyc,retries,self_evict_revocations,creads")
+	threads := 16
+	for _, assoc := range []int{2, 4, 8, 16} {
+		p := cache.DefaultParams(threads)
+		p.L1Assoc = assoc
+		res, err := bench.Run(bench.Workload{
+			DS: "list", Scheme: "ca",
+			Threads: threads, KeyRange: 1000, UpdatePct: 100,
+			OpsPerThread: g.ops, Seed: g.seed, Check: g.check, Cache: p,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("assoc=%2d: %9.1f ops/Mcyc, retries %6d, revocations %6d (creads %d)\n",
+			assoc, res.Throughput, res.Retries, res.CA.Revocations, res.CA.CReads)
+		fmt.Fprintf(f, "%d,%.2f,%d,%d,%d\n", assoc, res.Throughput, res.Retries, res.CA.Revocations, res.CA.CReads)
+	}
+	return nil
+}
+
+// smt exercises the paper's Section III SMT integration: the same 16
+// hardware threads run on 16 dedicated cores versus 8 cores with 2-way SMT.
+// Hyperthread siblings revoke each other's tags on every write to a shared
+// line, so CA retries more under SMT; the measurement quantifies the cost.
+func (g generator) smt() error {
+	f, err := os.Create(filepath.Join(g.out, "ablation_smt.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "threads_per_core,scheme,ops_per_mcyc,retries")
+	for _, tpc := range []int{1, 2} {
+		for _, scheme := range []string{"ca", "rcu"} {
+			p := cache.DefaultParams(16)
+			p.ThreadsPerCore = tpc
+			res, err := bench.Run(bench.Workload{
+				DS: "list", Scheme: scheme,
+				Threads: 16, KeyRange: 1000, UpdatePct: 100,
+				OpsPerThread: g.ops, Seed: g.seed, Check: g.check, Cache: p,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("smt=%d %-4s: %9.1f ops/Mcyc, retries %d\n", tpc, scheme, res.Throughput, res.Retries)
+			fmt.Fprintf(f, "%d,%s,%.2f,%d\n", tpc, scheme, res.Throughput, res.Retries)
+		}
+	}
+	return nil
+}
+
+// hmlist measures the future-work extension: the Harris-Michael lock-free
+// list under Conditional Access versus the reclamation baselines.
+func (g generator) hmlist() error {
+	cfg := bench.SweepConfig{
+		DS: "hmlist", Schemes: allSchemes, Threads: g.threads,
+		Updates: []int{0, 100}, KeyRange: 1000,
+		Ops: g.ops, Seed: g.seed, Check: g.check, Trials: g.trials,
+	}
+	points, err := bench.Sweep(cfg, nil)
+	if err != nil {
+		return err
+	}
+	for _, u := range cfg.Updates {
+		fmt.Printf("-- hmlist %d%% updates [ops/Mcyc] --\n%s", u, bench.FormatTable(points, u))
+	}
+	f, err := os.Create(filepath.Join(g.out, "ext_hmlist.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return bench.WriteCSV(f, "hmlist", points)
+}
+
+// tuning reproduces the paper's motivation: the baselines' throughput and
+// footprint depend on the reclamation and epoch frequencies the programmer
+// must pick, while CA has no parameters at all.
+func (g generator) tuning() error {
+	f, err := os.Create(filepath.Join(g.out, "ablation_tuning.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "scheme,reclaim_every,epoch_every,ops_per_mcyc,live_nodes,peak_live")
+	threads := 16
+	type cfg struct{ reclaim, epoch int }
+	grid := []cfg{{1, 10}, {10, 50}, {30, 150}, {100, 500}, {1000, 5000}}
+	for _, scheme := range []string{"rcu", "ibr", "hp", "ca"} {
+		row := []string{}
+		for _, tc := range grid {
+			w := bench.Workload{
+				DS: "list", Scheme: scheme,
+				Threads: threads, KeyRange: 1000, UpdatePct: 100,
+				OpsPerThread: g.ops, Seed: g.seed, Check: g.check,
+				SMR: smr.Options{ReclaimEvery: tc.reclaim, EpochEvery: tc.epoch},
+			}
+			res, err := bench.Run(w)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(f, "%s,%d,%d,%.2f,%d,%d\n",
+				scheme, tc.reclaim, tc.epoch, res.Throughput, res.Mem.NodeLive(), res.Mem.PeakLive)
+			row = append(row, fmt.Sprintf("r%d/e%d: %.0f ops/Mcyc peak %d",
+				tc.reclaim, tc.epoch, res.Throughput, res.Mem.PeakLive))
+			if scheme == "ca" {
+				break // CA has no parameters; one point suffices
+			}
+		}
+		fmt.Printf("%-4s %s\n", scheme, strings.Join(row, " | "))
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package condaccess is a Go reproduction of "Efficient Hardware Primitives
+// for Immediate Memory Reclamation in Optimistic Data Structures" (Singh,
+// Brown, Spear; IPDPS 2023): the Conditional Access ISA extension, a
+// deterministic multicore cache-coherence simulator to host it, six
+// competing safe-memory-reclamation schemes, five concurrent data
+// structures, and the benchmark harness that regenerates every figure of
+// the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. The root package holds
+// only the figure benchmarks (bench_test.go); the implementation lives under
+// internal/ — start at internal/core (the contribution) and internal/sim
+// (the machine).
+package condaccess

@@ -1,0 +1,208 @@
+// Package bench is the benchmark harness that regenerates the paper's
+// evaluation (Section V): throughput sweeps over data structure x
+// reclamation scheme x thread count x update rate (Figures 1 and 2), the
+// memory-footprint trace (Figure 3), and the ablations (associativity
+// sensitivity, batching/epoch-frequency tuning).
+//
+// Methodology mirrors the paper: each trial prefills its structure to 50%
+// of the key range, then runs N operations per thread choosing insert and
+// delete with equal probability (so size stays roughly constant) and
+// contains for the rest. Throughput is reported in operations per million
+// simulated cycles — absolute values are not comparable to the paper's
+// Graphite testbed, but the scheme-vs-scheme shape is.
+package bench
+
+import (
+	"fmt"
+
+	"condaccess/internal/cache"
+	"condaccess/internal/core"
+	"condaccess/internal/ds/extbst"
+	"condaccess/internal/ds/hashtable"
+	"condaccess/internal/ds/hmlist"
+	"condaccess/internal/ds/lazylist"
+	"condaccess/internal/ds/queue"
+	"condaccess/internal/ds/stack"
+	"condaccess/internal/mem"
+	"condaccess/internal/sim"
+	"condaccess/internal/smr"
+)
+
+// Scheme names accepted by Workload.Scheme: "ca" plus smr.Names().
+func Schemes() []string { return append([]string{"ca"}, smr.Names()...) }
+
+// Structures lists the benchmarkable data structures. "list" is the lazy
+// list of the paper's Figure 1; "hmlist" is the Harris-Michael lock-free
+// list (the paper's future-work extension, not in its plots).
+func Structures() []string { return []string{"list", "bst", "hash", "stack", "queue", "hmlist"} }
+
+// Workload describes one trial.
+type Workload struct {
+	DS     string // list, bst, hash, stack, queue
+	Scheme string // ca, none, rcu, qsbr, ibr, hp, he
+
+	Threads      int
+	KeyRange     uint64 // keys drawn from [1, KeyRange]
+	UpdatePct    int    // inserts+deletes percentage: 0, 10 or 100 in the paper
+	OpsPerThread int
+	Buckets      int // hash only; 0 means hashtable.DefaultBuckets
+
+	Seed  uint64
+	Check bool // enable use-after-free and Theorem 6/7 assertions
+
+	SMR   smr.Options  // reclamation tuning (paper defaults when zero)
+	Cache cache.Params // cache geometry override (defaults when zero)
+	Slack uint64       // scheduler quantum override (default when zero)
+
+	// FootprintEvery samples allocated-not-freed nodes every this many
+	// completed operations (0 disables) — the Figure 3 series.
+	FootprintEvery int
+
+	// OpWorkCycles models the fixed instruction cost of an operation's
+	// non-memory work (harness loop, RNG, call overhead). Zero means
+	// DefaultOpWork.
+	OpWorkCycles uint64
+
+	// Dist selects the key distribution: DistUniform (default, the paper's
+	// choice) or DistZipf (skewed, theta 0.99).
+	Dist string
+
+	// RecordLatency collects every operation's simulated latency and fills
+	// Result.Latency with its percentiles.
+	RecordLatency bool
+}
+
+// DefaultOpWork approximates per-operation bookkeeping instructions.
+const DefaultOpWork = 15
+
+// FootprintSample is one Figure 3 data point.
+type FootprintSample struct {
+	AfterOps int
+	Live     uint64
+}
+
+// Result aggregates one trial.
+type Result struct {
+	W           Workload
+	PrefillSize int
+
+	Ops        uint64  // measured operations completed
+	Cycles     uint64  // simulated wall time of the measured phase
+	Throughput float64 // ops per million cycles
+
+	Retries uint64 // operation restarts (conditional-access or validation)
+
+	Cache cache.Stats
+	CA    core.Stats
+	SMR   smr.Stats
+	Mem   mem.Stats
+
+	Footprint []FootprintSample
+
+	// Latency is filled when W.RecordLatency is set.
+	Latency LatencyStats
+}
+
+// LatencyStats summarizes the per-operation simulated-latency distribution.
+// Batch-based reclamation shows up here (an unlucky operation absorbs a
+// whole scan+free pass), which is the paper's tail-latency critique of
+// batching; Conditional Access has no such events.
+type LatencyStats struct {
+	Samples    int
+	P50, P90   uint64
+	P99, P999  uint64
+	Max        uint64
+	MeanCycles float64
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s t=%d u=%d%%: %.2f ops/Mcyc (%d ops, %d retries, live %d)",
+		r.W.DS, r.W.Scheme, r.W.Threads, r.W.UpdatePct, r.Throughput, r.Ops, r.Retries, r.Mem.NodeLive())
+}
+
+// setOps is the uniform set interface both variants satisfy.
+type setOps interface {
+	Insert(c *sim.Ctx, key uint64) bool
+	Delete(c *sim.Ctx, key uint64) bool
+	Contains(c *sim.Ctx, key uint64) bool
+}
+
+// stackOps is the uniform stack interface.
+type stackOps interface {
+	Push(c *sim.Ctx, key uint64)
+	Pop(c *sim.Ctx) (uint64, bool)
+	Peek(c *sim.Ctx) (uint64, bool)
+}
+
+// queueOps is the uniform queue interface.
+type queueOps interface {
+	Enqueue(c *sim.Ctx, key uint64)
+	Dequeue(c *sim.Ctx) (uint64, bool)
+}
+
+// built bundles a constructed structure with its diagnostics accessors.
+type built struct {
+	set     setOps
+	stk     stackOps
+	que     queueOps
+	retries func() uint64
+	rec     smr.Reclaimer // nil for ca and none-less cases
+}
+
+// build constructs the requested structure+scheme pair on m.
+func build(m *sim.Machine, w Workload) (built, error) {
+	space := m.Space
+	nb := w.Buckets
+	if nb == 0 {
+		nb = hashtable.DefaultBuckets
+	}
+	if w.Scheme == "ca" {
+		switch w.DS {
+		case "list":
+			l := lazylist.NewCA(space)
+			return built{set: l, retries: func() uint64 { return l.Retries }}, nil
+		case "bst":
+			t := extbst.NewCA(space)
+			return built{set: t, retries: func() uint64 { return t.Retries }}, nil
+		case "hash":
+			t := hashtable.NewCA(space, nb)
+			return built{set: t, retries: t.Retries}, nil
+		case "stack":
+			s := stack.NewCA(space)
+			return built{stk: s, retries: func() uint64 { return 0 }}, nil
+		case "queue":
+			q := queue.NewCA(space)
+			return built{que: q, retries: func() uint64 { return q.Retries }}, nil
+		case "hmlist":
+			l := hmlist.NewCA(space)
+			return built{set: l, retries: func() uint64 { return l.Retries }}, nil
+		}
+		return built{}, fmt.Errorf("bench: unknown structure %q", w.DS)
+	}
+	r, err := smr.New(w.Scheme, space, w.Threads, w.SMR)
+	if err != nil {
+		return built{}, err
+	}
+	switch w.DS {
+	case "list":
+		l := lazylist.NewGuarded(space, r)
+		return built{set: l, retries: func() uint64 { return l.Retries }, rec: r}, nil
+	case "bst":
+		t := extbst.NewGuarded(space, r)
+		return built{set: t, retries: func() uint64 { return t.Retries }, rec: r}, nil
+	case "hash":
+		t := hashtable.NewGuarded(space, r, nb)
+		return built{set: t, retries: t.Retries, rec: r}, nil
+	case "stack":
+		s := stack.NewGuarded(space, r)
+		return built{stk: s, retries: func() uint64 { return 0 }, rec: r}, nil
+	case "queue":
+		q := queue.NewGuarded(space, r)
+		return built{que: q, retries: func() uint64 { return q.Retries }, rec: r}, nil
+	case "hmlist":
+		l := hmlist.NewGuarded(space, r)
+		return built{set: l, retries: func() uint64 { return l.Retries }, rec: r}, nil
+	}
+	return built{}, fmt.Errorf("bench: unknown structure %q", w.DS)
+}

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"condaccess/internal/cache"
+	"condaccess/internal/sim"
+)
+
+// Run executes one trial: build, prefill to 50%, reset clocks, run the
+// measured mixed workload, and collect every statistic the experiments
+// report.
+func Run(w Workload) (Result, error) {
+	if err := validate(&w); err != nil {
+		return Result{}, err
+	}
+	cfg := sim.Config{
+		Cores: w.Threads,
+		Seed:  w.Seed,
+		Check: w.Check,
+		Slack: w.Slack,
+	}
+	if w.Cache.Cores != 0 {
+		if w.Cache.Cores != w.Threads {
+			return Result{}, fmt.Errorf("bench: cache params cores %d != threads %d", w.Cache.Cores, w.Threads)
+		}
+		cfg.Cache = w.Cache
+	}
+	m := sim.New(cfg)
+	b, err := build(m, w)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{W: w}
+	res.PrefillSize = prefill(m, w, b)
+	m.ResetClocks()
+
+	// Measured phase.
+	opWork := w.OpWorkCycles
+	if opWork == 0 {
+		opWork = DefaultOpWork
+	}
+	gen, err := newKeygen(w.Dist, w.KeyRange)
+	if err != nil {
+		return Result{}, err
+	}
+	totalOps := 0 // serialized by the simulator: safe plain counter
+	sample := func() {
+		if w.FootprintEvery > 0 && totalOps%w.FootprintEvery == 0 {
+			res.Footprint = append(res.Footprint, FootprintSample{
+				AfterOps: totalOps,
+				Live:     m.Space.Stats().NodeLive(),
+			})
+		}
+	}
+	var lats [][]uint64
+	if w.RecordLatency {
+		lats = make([][]uint64, w.Threads)
+	}
+	for i := 0; i < w.Threads; i++ {
+		m.Spawn(func(c *sim.Ctx) {
+			id := c.ThreadID()
+			rng := c.Rand()
+			for j := 0; j < w.OpsPerThread; j++ {
+				c.Work(opWork)
+				start := c.Clock()
+				doOp(c, w, b, gen, rng)
+				if lats != nil {
+					lats[id] = append(lats[id], c.Clock()-start)
+				}
+				totalOps++
+				sample()
+			}
+		})
+	}
+	m.Run()
+	if lats != nil {
+		var all []uint64
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		res.Latency = computeLatency(all)
+	}
+
+	res.Ops = uint64(w.Threads) * uint64(w.OpsPerThread)
+	res.Cycles = m.MaxClock()
+	if res.Cycles > 0 {
+		res.Throughput = float64(res.Ops) / (float64(res.Cycles) / 1e6)
+	}
+	res.Retries = b.retries()
+	res.Cache = m.Hier.Stats()
+	res.CA = m.Ext.Stats()
+	if b.rec != nil {
+		res.SMR = b.rec.Stats()
+	}
+	res.Mem = m.Space.Stats()
+	return res, nil
+}
+
+func validate(w *Workload) error {
+	if w.Threads <= 0 || w.Threads > 64 {
+		return fmt.Errorf("bench: threads %d out of [1,64]", w.Threads)
+	}
+	if w.KeyRange == 0 {
+		return fmt.Errorf("bench: key range must be positive")
+	}
+	if w.UpdatePct < 0 || w.UpdatePct > 100 {
+		return fmt.Errorf("bench: update pct %d out of [0,100]", w.UpdatePct)
+	}
+	if w.OpsPerThread <= 0 {
+		return fmt.Errorf("bench: ops per thread must be positive")
+	}
+	known := false
+	for _, s := range Structures() {
+		if s == w.DS {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("bench: unknown structure %q", w.DS)
+	}
+	return nil
+}
+
+// doOp executes one randomly chosen operation. For sets: UpdatePct/2 each of
+// insert and delete, rest contains. For the stack (and queue) the paper's
+// mix maps to push/pop(/peek): equal insert/delete probabilities keep the
+// size stable.
+func doOp(c *sim.Ctx, w Workload, b built, gen keygen, rng *sim.RNG) {
+	p := int(rng.Uint64n(100))
+	key := gen.Next(rng)
+	switch {
+	case b.set != nil:
+		switch {
+		case p < w.UpdatePct/2:
+			b.set.Insert(c, key)
+		case p < w.UpdatePct:
+			b.set.Delete(c, key)
+		default:
+			b.set.Contains(c, key)
+		}
+	case b.stk != nil:
+		switch {
+		case p < w.UpdatePct/2:
+			b.stk.Push(c, key)
+		case p < w.UpdatePct:
+			b.stk.Pop(c)
+		default:
+			b.stk.Peek(c)
+		}
+	default:
+		switch {
+		case p < w.UpdatePct/2:
+			b.que.Enqueue(c, key)
+		case p < w.UpdatePct:
+			b.que.Dequeue(c)
+		default:
+			// Queues have no read-only op; a dequeue+enqueue pair keeps the
+			// size stable for the "read" share.
+			if v, ok := b.que.Dequeue(c); ok {
+				b.que.Enqueue(c, v)
+			}
+		}
+	}
+}
+
+// prefill brings the structure to 50% occupancy using thread 0, returning
+// the number of elements inserted. Sets insert random keys until half the
+// key range is present; stacks and queues get KeyRange/2 elements.
+func prefill(m *sim.Machine, w Workload, b built) int {
+	target := int(w.KeyRange / 2)
+	if target == 0 {
+		target = 1
+	}
+	n := 0
+	m.Spawn(func(c *sim.Ctx) {
+		rng := sim.NewRNG(w.Seed ^ 0xA5A5A5A5)
+		switch {
+		case b.set != nil:
+			for n < target {
+				if b.set.Insert(c, rng.Uint64n(w.KeyRange)+1) {
+					n++
+				}
+			}
+		case b.stk != nil:
+			for ; n < target; n++ {
+				b.stk.Push(c, rng.Uint64n(w.KeyRange)+1)
+			}
+		default:
+			for ; n < target; n++ {
+				b.que.Enqueue(c, rng.Uint64n(w.KeyRange)+1)
+			}
+		}
+	})
+	m.Run()
+	return n
+}
+
+// DefaultCache re-exports the default cache geometry for tools that sweep
+// cache parameters.
+func DefaultCache(cores int) cache.Params { return cache.DefaultParams(cores) }
+
+// computeLatency sorts the collected latencies and extracts percentiles.
+func computeLatency(all []uint64) LatencyStats {
+	if len(all) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) uint64 { return all[int(p*float64(len(all)-1))] }
+	var sum float64
+	for _, v := range all {
+		sum += float64(v)
+	}
+	return LatencyStats{
+		Samples: len(all),
+		P50:     q(0.50), P90: q(0.90),
+		P99: q(0.99), P999: q(0.999),
+		Max:        all[len(all)-1],
+		MeanCycles: sum / float64(len(all)),
+	}
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperShapeHolds is the reproduction's regression guard: the
+// qualitative orderings of the paper's evaluation, asserted at reduced scale
+// so the suite stays fast. If a refactor of the cache model, the schemes, or
+// the structures flips one of these, this test names the broken claim.
+func TestPaperShapeHolds(t *testing.T) {
+	run := func(scheme string, updates int) Result {
+		t.Helper()
+		res, err := Run(Workload{
+			DS: "list", Scheme: scheme,
+			Threads: 8, KeyRange: 500, UpdatePct: updates,
+			OpsPerThread: 600, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	t.Run("readonly ordering", func(t *testing.T) {
+		none, ca, rcu, hp := run("none", 0), run("ca", 0), run("rcu", 0), run("hp", 0)
+		if !(none.Throughput > ca.Throughput) {
+			t.Errorf("read-only: none (%.0f) should beat ca (%.0f)", none.Throughput, ca.Throughput)
+		}
+		if !(rcu.Throughput > ca.Throughput) {
+			t.Errorf("read-only: rcu (%.0f) should beat ca (%.0f)", rcu.Throughput, ca.Throughput)
+		}
+		if !(ca.Throughput > 2*hp.Throughput) {
+			t.Errorf("read-only: ca (%.0f) should dominate hp (%.0f)", ca.Throughput, hp.Throughput)
+		}
+	})
+
+	t.Run("high-update crossover", func(t *testing.T) {
+		// The paper's crossover — CA overtaking the epoch schemes — happens
+		// at high thread counts; at moderate ones the claim is "closer to or
+		// faster than" (Section V). Assert both regimes.
+		runAt := func(scheme string, threads int) Result {
+			t.Helper()
+			res, err := Run(Workload{
+				DS: "list", Scheme: scheme,
+				Threads: threads, KeyRange: 1000, UpdatePct: 100,
+				OpsPerThread: 600, Seed: 31,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		ca8, rcu8 := run("ca", 100), run("rcu", 100)
+		if ca8.Throughput < 0.8*rcu8.Throughput {
+			t.Errorf("8 threads: ca (%.0f) should be close to rcu (%.0f)", ca8.Throughput, rcu8.Throughput)
+		}
+		ca16, rcu16, qsbr16, hp16 := runAt("ca", 16), runAt("rcu", 16), runAt("qsbr", 16), runAt("hp", 16)
+		if !(ca16.Throughput > rcu16.Throughput) {
+			t.Errorf("16 threads, 100%% updates: ca (%.0f) should beat rcu (%.0f)", ca16.Throughput, rcu16.Throughput)
+		}
+		if !(ca16.Throughput > qsbr16.Throughput) {
+			t.Errorf("16 threads, 100%% updates: ca (%.0f) should beat qsbr (%.0f)", ca16.Throughput, qsbr16.Throughput)
+		}
+		if !(ca16.Throughput > 2*hp16.Throughput) {
+			t.Errorf("16 threads, 100%% updates: ca (%.0f) should dominate hp (%.0f)", ca16.Throughput, hp16.Throughput)
+		}
+	})
+
+	t.Run("footprint ordering", func(t *testing.T) {
+		ca, rcu, none := run("ca", 100), run("rcu", 100), run("none", 100)
+		if ca.Mem.PeakLive >= rcu.Mem.PeakLive {
+			t.Errorf("ca peak (%d) should be below rcu peak (%d)", ca.Mem.PeakLive, rcu.Mem.PeakLive)
+		}
+		if rcu.Mem.PeakLive >= none.Mem.PeakLive {
+			t.Errorf("rcu peak (%d) should be below none peak (%d)", rcu.Mem.PeakLive, none.Mem.PeakLive)
+		}
+		// CA's peak must sit near the live set (prefill size), the paper's
+		// Figure 3 headline. Allow 25% slack for in-flight allocations.
+		if float64(ca.Mem.PeakLive) > 1.25*float64(ca.PrefillSize) {
+			t.Errorf("ca peak %d strays from live set %d", ca.Mem.PeakLive, ca.PrefillSize)
+		}
+	})
+
+	t.Run("ca tagset stays minimal", func(t *testing.T) {
+		ca := run("ca", 100)
+		if ca.CA.MaxTagSet > 3 {
+			t.Errorf("list tag set reached %d lines; hand-over-hand should bound it at 2-3", ca.CA.MaxTagSet)
+		}
+	})
+}
+
+func TestFormatTable(t *testing.T) {
+	points := []SweepPoint{
+		{Scheme: "ca", Threads: 1, UpdatePct: 0, Throughput: 100},
+		{Scheme: "ca", Threads: 8, UpdatePct: 0, Throughput: 700},
+		{Scheme: "rcu", Threads: 1, UpdatePct: 0, Throughput: 90},
+		{Scheme: "rcu", Threads: 8, UpdatePct: 0, Throughput: 650},
+		{Scheme: "ca", Threads: 1, UpdatePct: 100, Throughput: 55}, // other panel
+	}
+	out := FormatTable(points, 0)
+	for _, want := range []string{"t=1", "t=8", "ca", "rcu", "700.0", "650.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "55.0") {
+		t.Errorf("table leaked a point from another update rate:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, "list", []SweepPoint{
+		{Scheme: "ca", Threads: 4, UpdatePct: 10, Throughput: 123.456, Retries: 7, LiveNodes: 99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if !strings.HasPrefix(got, "ds,scheme,threads,update_pct,ops_per_mcyc,retries,live_nodes\n") {
+		t.Fatalf("missing header: %q", got)
+	}
+	if !strings.Contains(got, "list,ca,4,10,123.46,7,99") {
+		t.Fatalf("bad row: %q", got)
+	}
+}
+
+func TestSweepRunsCrossProduct(t *testing.T) {
+	points, err := Sweep(SweepConfig{
+		DS: "stack", Schemes: []string{"ca", "none"},
+		Threads: []int{1, 2}, Updates: []int{0, 100},
+		KeyRange: 32, Ops: 50, Seed: 9, Trials: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("points = %d, want 2*2*2 = 8", len(points))
+	}
+	for _, p := range points {
+		if p.Throughput <= 0 {
+			t.Fatalf("zero throughput point: %+v", p)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SweepConfig describes a cross-product experiment: one data structure, a
+// set of schemes, thread counts, and update rates — i.e. one paper figure
+// panel per (update rate), one curve per scheme, one point per thread count.
+type SweepConfig struct {
+	DS       string
+	Schemes  []string
+	Threads  []int
+	Updates  []int
+	KeyRange uint64
+	Ops      int // per thread
+	Buckets  int // hash only
+	Seed     uint64
+	Check    bool
+	Trials   int // >=1; throughput is averaged (paper: 3 trials)
+
+	// Dist selects the key distribution (default uniform).
+	Dist string
+	// RecordLatency fills each point's Result.Latency.
+	RecordLatency bool
+}
+
+// SweepPoint is one measured point of a sweep.
+type SweepPoint struct {
+	Scheme     string
+	Threads    int
+	UpdatePct  int
+	Throughput float64 // mean over trials, ops per million cycles
+	Retries    uint64  // from the last trial
+	LiveNodes  uint64  // from the last trial
+	Result     Result  // last trial's full result
+}
+
+// Sweep runs the full cross product. report (may be nil) is called after
+// each point, for progress output.
+func Sweep(cfg SweepConfig, report func(SweepPoint)) ([]SweepPoint, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	var points []SweepPoint
+	for _, u := range cfg.Updates {
+		for _, scheme := range cfg.Schemes {
+			for _, th := range cfg.Threads {
+				var sum float64
+				var last Result
+				for trial := 0; trial < cfg.Trials; trial++ {
+					res, err := Run(Workload{
+						DS: cfg.DS, Scheme: scheme,
+						Threads: th, KeyRange: cfg.KeyRange, UpdatePct: u,
+						OpsPerThread: cfg.Ops, Buckets: cfg.Buckets,
+						Seed:          cfg.Seed + uint64(trial)*1000003,
+						Check:         cfg.Check,
+						Dist:          cfg.Dist,
+						RecordLatency: cfg.RecordLatency,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("sweep %s/%s t=%d u=%d: %w", cfg.DS, scheme, th, u, err)
+					}
+					sum += res.Throughput
+					last = res
+				}
+				p := SweepPoint{
+					Scheme: scheme, Threads: th, UpdatePct: u,
+					Throughput: sum / float64(cfg.Trials),
+					Retries:    last.Retries,
+					LiveNodes:  last.Mem.NodeLive(),
+					Result:     last,
+				}
+				points = append(points, p)
+				if report != nil {
+					report(p)
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+// WriteCSV emits a sweep as long-form CSV.
+func WriteCSV(w io.Writer, ds string, points []SweepPoint) error {
+	if _, err := fmt.Fprintln(w, "ds,scheme,threads,update_pct,ops_per_mcyc,retries,live_nodes"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%.2f,%d,%d\n",
+			ds, p.Scheme, p.Threads, p.UpdatePct, p.Throughput, p.Retries, p.LiveNodes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatTable renders one panel (a fixed update rate) as the paper's figure
+// series: rows = schemes, columns = thread counts, cells = throughput.
+func FormatTable(points []SweepPoint, updatePct int) string {
+	threadSet := map[int]bool{}
+	schemeOrder := []string{}
+	seen := map[string]bool{}
+	cells := map[string]map[int]float64{}
+	for _, p := range points {
+		if p.UpdatePct != updatePct {
+			continue
+		}
+		threadSet[p.Threads] = true
+		if !seen[p.Scheme] {
+			seen[p.Scheme] = true
+			schemeOrder = append(schemeOrder, p.Scheme)
+			cells[p.Scheme] = map[int]float64{}
+		}
+		cells[p.Scheme][p.Threads] = p.Throughput
+	}
+	var threads []int
+	for th := range threadSet {
+		threads = append(threads, th)
+	}
+	sort.Ints(threads)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "scheme")
+	for _, th := range threads {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("t=%d", th))
+	}
+	b.WriteByte('\n')
+	for _, s := range schemeOrder {
+		fmt.Fprintf(&b, "%-6s", s)
+		for _, th := range threads {
+			fmt.Fprintf(&b, " %9.1f", cells[s][th])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"condaccess/internal/sim"
+)
+
+// Key distributions for workload generation. The paper draws keys uniformly;
+// the zipfian option models the skewed access patterns (hot keys) common in
+// key-value workloads, concentrating contention the way the paper's
+// high-update panels do with thread count.
+const (
+	DistUniform = "uniform"
+	DistZipf    = "zipf"
+)
+
+// ZipfTheta is the skew parameter for DistZipf (YCSB's default).
+const ZipfTheta = 0.99
+
+// keygen draws keys in [1, n].
+type keygen interface {
+	Next(rng *sim.RNG) uint64
+}
+
+type uniformGen struct{ n uint64 }
+
+func (g uniformGen) Next(rng *sim.RNG) uint64 { return rng.Uint64n(g.n) + 1 }
+
+// zipfGen is Gray et al.'s O(1)-per-sample zipfian generator (the YCSB
+// algorithm): zeta sums are precomputed once, each draw costs two float ops
+// and one RNG call. Rank 1 is the hottest key; ranks are scattered over the
+// key space by a fixed multiplicative hash so hot keys are not neighbors in
+// the sorted structures.
+type zipfGen struct {
+	n                        uint64
+	theta, zetan, alpha, eta float64
+	thresh                   float64 // 1 + 0.5^theta, precomputed
+}
+
+func newZipfGen(n uint64, theta float64) *zipfGen {
+	if n == 0 {
+		panic("bench: zipf over empty key range")
+	}
+	g := &zipfGen{n: n, theta: theta}
+	var zetan float64
+	for i := uint64(1); i <= n; i++ {
+		zetan += 1 / pow(float64(i), theta)
+	}
+	g.zetan = zetan
+	zeta2 := 1 + 1/pow(2, theta)
+	g.alpha = 1 / (1 - theta)
+	g.eta = (1 - pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+	g.thresh = 1 + pow(0.5, theta)
+	return g
+}
+
+func (g *zipfGen) Next(rng *sim.RNG) uint64 {
+	u := float64(rng.Uint64()>>11) / float64(1<<53) // uniform in [0,1)
+	uz := u * g.zetan
+	var rank uint64
+	switch {
+	case uz < 1:
+		rank = 1
+	case uz < g.thresh:
+		rank = 2
+	default:
+		rank = 1 + uint64(float64(g.n)*pow(g.eta*u-g.eta+1, g.alpha))
+	}
+	if rank > g.n {
+		rank = g.n
+	}
+	// Scatter ranks across the key space deterministically so the hot keys
+	// land in different list/tree neighborhoods.
+	return (rank-1)*2654435761%g.n + 1
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// newKeygen builds the generator named by dist.
+func newKeygen(dist string, n uint64) (keygen, error) {
+	switch dist {
+	case "", DistUniform:
+		return uniformGen{n: n}, nil
+	case DistZipf:
+		return newZipfGen(n, ZipfTheta), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown key distribution %q", dist)
+	}
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"testing"
+	"testing/quick"
+
+	"condaccess/internal/sim"
+)
+
+func TestUniformCoversRange(t *testing.T) {
+	g, err := newKeygen(DistUniform, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		k := g.Next(rng)
+		if k < 1 || k > 10 {
+			t.Fatalf("key %d out of [1,10]", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d/10 keys drawn", len(seen))
+	}
+}
+
+func TestZipfInRangeProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		rng := sim.NewRNG(seed)
+		kr := uint64(n%1000) + 2
+		g := newZipfGen(kr, ZipfTheta)
+		for i := 0; i < 200; i++ {
+			if k := g.Next(rng); k < 1 || k > kr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	g := newZipfGen(1000, ZipfTheta)
+	rng := sim.NewRNG(42)
+	counts := map[uint64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[g.Next(rng)]++
+	}
+	// The hottest key of a theta-0.99 zipfian over 1000 keys should absorb
+	// well over 5% of draws; uniform would give 0.1%.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/draws < 0.05 {
+		t.Fatalf("hottest key got %.2f%%, expected >5%% (not skewed?)", 100*float64(max)/draws)
+	}
+	// But the tail must still be covered.
+	if len(counts) < 500 {
+		t.Fatalf("only %d distinct keys in 200k draws", len(counts))
+	}
+}
+
+func TestUnknownDistRejected(t *testing.T) {
+	if _, err := newKeygen("pareto", 10); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	if _, err := Run(Workload{
+		DS: "list", Scheme: "ca", Threads: 1, KeyRange: 8,
+		OpsPerThread: 1, Dist: "pareto",
+	}); err == nil {
+		t.Fatal("Run accepted unknown distribution")
+	}
+}
+
+func TestZipfWorkloadRuns(t *testing.T) {
+	res, err := Run(Workload{
+		DS: "list", Scheme: "ca",
+		Threads: 4, KeyRange: 128, UpdatePct: 50,
+		OpsPerThread: 300, Seed: 5, Check: true, Dist: DistZipf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("implausible: %+v", res)
+	}
+}
+
+func TestLatencyRecording(t *testing.T) {
+	res, err := Run(Workload{
+		DS: "list", Scheme: "rcu",
+		Threads: 4, KeyRange: 128, UpdatePct: 100,
+		OpsPerThread: 400, Seed: 6, Check: true, RecordLatency: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.Latency
+	if l.Samples != 1600 {
+		t.Fatalf("samples = %d, want 1600", l.Samples)
+	}
+	if !(l.P50 <= l.P90 && l.P90 <= l.P99 && l.P99 <= l.P999 && l.P999 <= l.Max) {
+		t.Fatalf("percentiles not monotone: %+v", l)
+	}
+	if l.P50 == 0 || l.MeanCycles <= 0 {
+		t.Fatalf("degenerate latency stats: %+v", l)
+	}
+}
+
+func TestHMListInHarness(t *testing.T) {
+	for _, scheme := range []string{"ca", "rcu", "hp"} {
+		res, err := Run(Workload{
+			DS: "hmlist", Scheme: scheme,
+			Threads: 4, KeyRange: 64, UpdatePct: 50,
+			OpsPerThread: 200, Seed: 7, Check: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Throughput <= 0 {
+			t.Fatalf("%s: implausible result", scheme)
+		}
+	}
+}

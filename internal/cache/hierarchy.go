@@ -1,0 +1,458 @@
+package cache
+
+import "fmt"
+
+const lineBytes = 64
+
+// State is an MSI line state as seen by a private L1.
+type State uint8
+
+// MSI states. A line absent from the cache is Invalid.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Listener receives coherence events. The Conditional Access extension
+// (package core) registers one to learn when a core loses its copy of a
+// tagged line. LineInvalidated fires whenever core's L1 copy of line is
+// removed for any reason: a remote write invalidating it, a local capacity or
+// conflict eviction, or an inclusive-L2 back-invalidation. It does not fire
+// on an M->S downgrade, matching the paper: only invalidations revoke access.
+type Listener interface {
+	LineInvalidated(core int, line uint64)
+}
+
+// Stats aggregates hierarchy activity for one simulation.
+type Stats struct {
+	L1Hits        uint64
+	L1Misses      uint64
+	L2Hits        uint64
+	L2Misses      uint64
+	Invalidations uint64 // remote L1 copies invalidated by writes
+	RemoteFwds    uint64 // misses served by a remote Modified copy
+	Upgrades      uint64 // S->M upgrades with no other sharers
+	L1Evictions   uint64 // local conflict/capacity evictions
+	BackInvals    uint64 // L1 copies dropped by inclusive-L2 evictions
+}
+
+type l1way struct {
+	line  uint64 // line base address; valid iff state != Invalid
+	state State
+	lru   uint64
+}
+
+type l1cache struct {
+	sets    [][]l1way
+	setMask uint64
+}
+
+type l2way struct {
+	line    uint64
+	valid   bool
+	dirty   bool
+	sharers uint64 // bitmask of cores with an L1 copy
+	owner   int8   // core holding Modified, or -1
+	lru     uint64
+}
+
+type l2cache struct {
+	sets    [][]l2way
+	setMask uint64
+}
+
+// Hierarchy is the full simulated memory system: one private L1 per
+// physical core (shared by its hyperthreads when ThreadsPerCore > 1) over
+// one shared inclusive L2 with a directory. It is not safe for concurrent
+// use; the simulator serializes accesses.
+//
+// All public entry points take a hardware-thread id; the hierarchy maps it
+// to its physical L1. Listener events are delivered per hardware thread:
+// losing an L1 line notifies every hyperthread of that core, and a write by
+// one hyperthread notifies its siblings (whose tags on the line must be
+// revoked even though the line stays resident — paper Section III).
+type Hierarchy struct {
+	p        Params
+	smt      int // hardware threads per L1
+	l1       []l1cache
+	l2       l2cache
+	listener Listener
+	tick     uint64
+	stats    Stats
+}
+
+// New builds a hierarchy for p. listener may be nil.
+func New(p Params, listener Listener) *Hierarchy {
+	p.Validate()
+	h := &Hierarchy{p: p, smt: p.SMTWidth(), listener: listener}
+	l1Sets := p.L1Bytes / (p.L1Assoc * lineBytes)
+	h.l1 = make([]l1cache, p.L1Count())
+	for c := range h.l1 {
+		h.l1[c].sets = make([][]l1way, l1Sets)
+		for i := range h.l1[c].sets {
+			h.l1[c].sets[i] = make([]l1way, p.L1Assoc)
+		}
+		h.l1[c].setMask = uint64(l1Sets - 1)
+	}
+	l2Sets := p.L2Bytes / (p.L2Assoc * lineBytes)
+	h.l2.sets = make([][]l2way, l2Sets)
+	for i := range h.l2.sets {
+		h.l2.sets[i] = make([]l2way, p.L2Assoc)
+	}
+	h.l2.setMask = uint64(l2Sets - 1)
+	if l1Sets&(l1Sets-1) != 0 || l2Sets&(l2Sets-1) != 0 {
+		panic("cache: set counts must be powers of two")
+	}
+	return h
+}
+
+// Params returns the configuration the hierarchy was built with.
+func (h *Hierarchy) Params() Params { return h.p }
+
+// Stats returns a copy of the accumulated statistics.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+func (c *l1cache) set(line uint64) []l1way {
+	return c.sets[(line/lineBytes)&c.setMask]
+}
+
+func (c *l1cache) find(line uint64) *l1way {
+	set := c.set(line)
+	for i := range set {
+		if set[i].state != Invalid && set[i].line == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (c *l2cache) set(line uint64) []l2way {
+	return c.sets[(line/lineBytes)&c.setMask]
+}
+
+func (c *l2cache) find(line uint64) *l2way {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// HasLine reports the L1 state of line for hardware thread tid without
+// touching LRU or charging latency (a diagnostic, used by tests).
+func (h *Hierarchy) HasLine(tid int, line uint64) State {
+	if w := h.l1[tid/h.smt].find(line); w != nil {
+		return w.state
+	}
+	return Invalid
+}
+
+// notify delivers a LineInvalidated event to every hardware thread of
+// physical core l1i.
+func (h *Hierarchy) notify(l1i int, line uint64) {
+	if h.listener == nil {
+		return
+	}
+	for k := 0; k < h.smt; k++ {
+		h.listener.LineInvalidated(l1i*h.smt+k, line)
+	}
+}
+
+// notifySiblings delivers a LineInvalidated event to tid's hyperthread
+// siblings (not tid itself): a local write leaves the line resident, but any
+// sibling tag on it must be revoked.
+func (h *Hierarchy) notifySiblings(tid int, line uint64) {
+	if h.listener == nil || h.smt == 1 {
+		return
+	}
+	base := (tid / h.smt) * h.smt
+	for k := 0; k < h.smt; k++ {
+		if base+k != tid {
+			h.listener.LineInvalidated(base+k, line)
+		}
+	}
+}
+
+// Read performs a load by hardware thread tid from the line containing addr
+// and returns its latency in cycles.
+func (h *Hierarchy) Read(tid int, addr uint64) uint64 {
+	core := tid / h.smt
+	line := addr &^ (lineBytes - 1)
+	h.tick++
+	if w := h.l1[core].find(line); w != nil {
+		w.lru = h.tick
+		h.stats.L1Hits++
+		return h.p.LatL1Hit
+	}
+	h.stats.L1Misses++
+	lat := h.p.LatL1Hit + h.p.LatDir
+	w2 := h.l2.find(line)
+	if w2 == nil {
+		h.stats.L2Misses++
+		lat += h.p.LatMem
+		w2 = h.installL2(line)
+	} else {
+		h.stats.L2Hits++
+		lat += h.p.LatL2Hit
+		if w2.owner >= 0 && int(w2.owner) != core {
+			// A remote L1 holds the line Modified: forward and downgrade.
+			lat += h.p.LatRemoteFwd
+			h.stats.RemoteFwds++
+			h.downgradeOwner(w2)
+		}
+	}
+	w2.sharers |= 1 << uint(core)
+	w2.lru = h.tick
+	h.installL1(core, line, Shared)
+	return lat
+}
+
+// Write obtains Modified ownership of the line containing addr for hardware
+// thread tid and returns the latency. The caller performs the actual data
+// store in the simulated heap.
+func (h *Hierarchy) Write(tid int, addr uint64) uint64 {
+	core := tid / h.smt
+	defer h.notifySiblings(tid, addr&^(lineBytes-1))
+	line := addr &^ (lineBytes - 1)
+	h.tick++
+	if w := h.l1[core].find(line); w != nil {
+		w.lru = h.tick
+		if w.state == Modified {
+			h.stats.L1Hits++
+			return h.p.LatL1Hit
+		}
+		// S -> M upgrade.
+		h.stats.L1Hits++
+		lat := h.p.LatL1Hit + h.p.LatDir
+		w2 := h.l2.find(line)
+		if w2 == nil {
+			panic(fmt.Sprintf("cache: inclusivity violated for line %#x", line))
+		}
+		if others := w2.sharers &^ (1 << uint(core)); others != 0 {
+			lat += h.p.LatInv
+			h.invalidateSharers(line, others)
+			w2.sharers &= 1 << uint(core)
+		} else {
+			lat += h.p.LatUpgrade
+			h.stats.Upgrades++
+		}
+		w2.owner = int8(core)
+		w2.lru = h.tick
+		w.state = Modified
+		return lat
+	}
+	// Miss: read-for-ownership.
+	h.stats.L1Misses++
+	lat := h.p.LatL1Hit + h.p.LatDir
+	w2 := h.l2.find(line)
+	if w2 == nil {
+		h.stats.L2Misses++
+		lat += h.p.LatMem
+		w2 = h.installL2(line)
+	} else {
+		h.stats.L2Hits++
+		lat += h.p.LatL2Hit
+		if w2.owner >= 0 {
+			lat += h.p.LatRemoteFwd
+			h.stats.RemoteFwds++
+			h.dropL1(int(w2.owner), line)
+			w2.dirty = true
+			w2.sharers &^= 1 << uint(w2.owner)
+			w2.owner = -1
+		}
+		if others := w2.sharers &^ (1 << uint(core)); others != 0 {
+			lat += h.p.LatInv
+			h.invalidateSharers(line, others)
+		}
+	}
+	w2.sharers = 1 << uint(core)
+	w2.owner = int8(core)
+	w2.lru = h.tick
+	h.installL1(core, line, Modified)
+	return lat
+}
+
+// downgradeOwner moves the current owner's copy from Modified to Shared,
+// writing the line back to the L2. Downgrades do not fire the listener.
+func (h *Hierarchy) downgradeOwner(w2 *l2way) {
+	ow := h.l1[w2.owner].find(w2.line)
+	if ow == nil || ow.state != Modified {
+		panic(fmt.Sprintf("cache: directory owner desync for line %#x", w2.line))
+	}
+	ow.state = Shared
+	w2.dirty = true
+	w2.owner = -1
+}
+
+// invalidateSharers drops every L1 copy named in mask and fires the listener
+// for each (these are true invalidations: tagged copies are revoked).
+func (h *Hierarchy) invalidateSharers(line uint64, mask uint64) {
+	for c := 0; mask != 0; c++ {
+		if mask&(1<<uint(c)) == 0 {
+			continue
+		}
+		mask &^= 1 << uint(c)
+		h.dropL1(c, line)
+		h.stats.Invalidations++
+	}
+}
+
+// dropL1 removes physical core l1i's copy of line (if present) and notifies
+// every hyperthread of that core.
+func (h *Hierarchy) dropL1(l1i int, line uint64) {
+	if w := h.l1[l1i].find(line); w != nil {
+		w.state = Invalid
+		h.notify(l1i, line)
+	}
+}
+
+// installL1 places line into core's L1 in the given state, evicting a victim
+// if the set is full. A victim eviction is an invalidation of the victim line
+// for this core (revoking any tag on it), and updates the directory.
+func (h *Hierarchy) installL1(core int, line uint64, st State) {
+	set := h.l1[core].set(line)
+	victim := 0
+	for i := range set {
+		if set[i].state == Invalid {
+			victim = i
+			goto place
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	// Evict the LRU way.
+	{
+		v := &set[victim]
+		h.stats.L1Evictions++
+		w2 := h.l2.find(v.line)
+		if w2 == nil {
+			panic(fmt.Sprintf("cache: inclusivity violated evicting %#x", v.line))
+		}
+		if v.state == Modified {
+			w2.dirty = true
+		}
+		if int(w2.owner) == core {
+			w2.owner = -1
+		}
+		w2.sharers &^= 1 << uint(core)
+		v.state = Invalid
+		h.notify(core, v.line)
+	}
+place:
+	set[victim] = l1way{line: line, state: st, lru: h.tick}
+}
+
+// installL2 places line into the L2, evicting (and back-invalidating) a
+// victim if needed, and returns the new way.
+func (h *Hierarchy) installL2(line uint64) *l2way {
+	set := h.l2.set(line)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto place
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	// Evict LRU, back-invalidating all L1 copies (inclusive L2).
+	{
+		v := &set[victim]
+		for c, m := 0, v.sharers; m != 0; c++ {
+			if m&(1<<uint(c)) == 0 {
+				continue
+			}
+			m &^= 1 << uint(c)
+			h.dropL1(c, v.line)
+			h.stats.BackInvals++
+		}
+		// Dirty victims write back to memory; the cost is off the requester's
+		// critical path and is not charged.
+		v.valid = false
+	}
+place:
+	set[victim] = l2way{line: line, valid: true, owner: -1, lru: h.tick}
+	return &set[victim]
+}
+
+// CheckInvariants validates directory/L1 consistency: at most one Modified
+// copy per line, directory sharer sets exactly matching L1 contents, and
+// inclusivity. Property tests call it after random access sequences.
+func (h *Hierarchy) CheckInvariants() error {
+	// Gather actual L1 contents.
+	type holder struct {
+		sharers uint64
+		owner   int8
+	}
+	actual := make(map[uint64]holder)
+	for c := range h.l1 {
+		for _, set := range h.l1[c].sets {
+			for _, w := range set {
+				if w.state == Invalid {
+					continue
+				}
+				hd := actual[w.line]
+				if hd.sharers == 0 {
+					hd.owner = -1
+				}
+				hd.sharers |= 1 << uint(c)
+				if w.state == Modified {
+					if hd.owner >= 0 {
+						return fmt.Errorf("line %#x Modified in cores %d and %d", w.line, hd.owner, c)
+					}
+					hd.owner = int8(c)
+				}
+				actual[w.line] = hd
+			}
+		}
+	}
+	for line, hd := range actual {
+		w2 := h.l2.find(line)
+		if w2 == nil {
+			return fmt.Errorf("line %#x in an L1 but not in inclusive L2", line)
+		}
+		if w2.sharers != hd.sharers {
+			return fmt.Errorf("line %#x directory sharers %b != actual %b", line, w2.sharers, hd.sharers)
+		}
+		if w2.owner != hd.owner {
+			return fmt.Errorf("line %#x directory owner %d != actual %d", line, w2.owner, hd.owner)
+		}
+		if hd.owner >= 0 && hd.sharers != 1<<uint(hd.owner) {
+			return fmt.Errorf("line %#x Modified at %d but shared by %b", line, hd.owner, hd.sharers)
+		}
+	}
+	// Directory must not claim sharers that do not exist.
+	for _, set := range h.l2.sets {
+		for i := range set {
+			w2 := &set[i]
+			if !w2.valid || w2.sharers == 0 {
+				continue
+			}
+			hd, ok := actual[w2.line]
+			if !ok {
+				return fmt.Errorf("directory claims sharers %b for line %#x held by no L1", w2.sharers, w2.line)
+			}
+			if hd.sharers != w2.sharers {
+				return fmt.Errorf("line %#x directory sharers %b != actual %b", w2.line, w2.sharers, hd.sharers)
+			}
+		}
+	}
+	return nil
+}

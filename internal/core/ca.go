@@ -1,0 +1,224 @@
+// Package core implements Conditional Access, the paper's primary
+// contribution: a small ISA extension that lets optimistic data structures
+// reclaim memory immediately.
+//
+// Four instructions are provided (paper Section II-B):
+//
+//   - cread  addr  — load addr, tagging its cache line; fails (without
+//     loading) if the core's accessRevokedBit is set.
+//   - cwrite addr,v — store v to addr; fails if the accessRevokedBit is set
+//     or addr's line is not currently tagged.
+//   - untagOne addr — remove addr's line from the tag set.
+//   - untagAll      — clear the tag set and the accessRevokedBit.
+//
+// The extension is implemented exactly as the paper's Section III sketches:
+// one tag bit per L1 line and one accessRevokedBit per hardware thread, with
+// no change to the coherence protocol. It subscribes to the cache model's
+// invalidation events (remote invalidations, local evictions, and inclusive-
+// L2 back-invalidations all revoke; M->S downgrades do not). Because the tag
+// bits live on L1 lines, the tag set capacity is bounded by L1 residency:
+// associativity evictions silently revoke, producing the spurious failures
+// the paper discusses — and measures to be rare (reproduced by the
+// associativity ablation benchmark).
+//
+// In "check" mode the extension additionally asserts the paper's safety
+// results as executable invariants: a successful cread or cwrite must target
+// a line that is live and whose allocation generation is unchanged since it
+// was tagged (Theorem 6, use-after-free freedom; Theorem 7, ABA freedom).
+package core
+
+import (
+	"fmt"
+
+	"condaccess/internal/cache"
+	"condaccess/internal/mem"
+)
+
+// Stats counts Conditional Access activity across all cores.
+type Stats struct {
+	CReads      uint64
+	CReadFails  uint64
+	CWrites     uint64
+	CWriteFails uint64 // includes failures due to an untagged target line
+	Untagged    uint64 // cwrite failures specifically due to an untagged line
+	Revocations uint64 // accessRevokedBit transitions caused by invalidations
+	SelfEvicts  uint64 // revocations caused by this core's own L1 evictions
+	MaxTagSet   int    // high-water mark of any core's tag set
+}
+
+type tagEntry struct {
+	line uint64
+	gen  uint32
+}
+
+type coreState struct {
+	tags    []tagEntry // small; linear scan beats a map at these sizes
+	revoked bool
+}
+
+// Extension is the Conditional Access hardware extension for a simulated
+// machine. Create it with New, wire it as the cache hierarchy's Listener,
+// then Attach the hierarchy and heap.
+type Extension struct {
+	h     *cache.Hierarchy
+	space *mem.Space
+	cores []coreState
+	stats Stats
+
+	// Check enables the executable safety invariants (Theorems 6 and 7).
+	Check bool
+}
+
+// New creates the extension for nCores hardware threads. The returned value
+// implements cache.Listener and must be registered with the hierarchy at
+// construction; call Attach afterwards.
+func New(nCores int) *Extension {
+	return &Extension{cores: make([]coreState, nCores)}
+}
+
+// Attach connects the extension to the hierarchy and heap it observes.
+func (e *Extension) Attach(h *cache.Hierarchy, space *mem.Space) {
+	e.h = h
+	e.space = space
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (e *Extension) Stats() Stats { return e.stats }
+
+// LineInvalidated implements cache.Listener: if the invalidated line is
+// tagged at core, the core's accessRevokedBit is set and the tag discarded
+// (the tag bit physically lives on the departing line).
+func (e *Extension) LineInvalidated(core int, line uint64) {
+	cs := &e.cores[core]
+	for i := range cs.tags {
+		if cs.tags[i].line == line {
+			cs.tags[i] = cs.tags[len(cs.tags)-1]
+			cs.tags = cs.tags[:len(cs.tags)-1]
+			if !cs.revoked {
+				cs.revoked = true
+				e.stats.Revocations++
+			}
+			return
+		}
+	}
+}
+
+// Revoked reports core's accessRevokedBit.
+func (e *Extension) Revoked(core int) bool { return e.cores[core].revoked }
+
+// RevokeThread unconditionally sets core's accessRevokedBit and discards its
+// tags. The simulator calls it on a context switch: the paper (Section III)
+// has the OS revoke a switched-out thread rather than track invalidations on
+// its behalf, which is what makes Conditional Access usable in multiuser
+// systems.
+func (e *Extension) RevokeThread(core int) {
+	cs := &e.cores[core]
+	cs.tags = cs.tags[:0]
+	if !cs.revoked {
+		cs.revoked = true
+		e.stats.Revocations++
+	}
+}
+
+// TagSetSize returns the current number of tagged lines at core.
+func (e *Extension) TagSetSize(core int) int { return len(e.cores[core].tags) }
+
+func (cs *coreState) findTag(line uint64) *tagEntry {
+	for i := range cs.tags {
+		if cs.tags[i].line == line {
+			return &cs.tags[i]
+		}
+	}
+	return nil
+}
+
+// CRead executes a cread by core at addr. On success it returns the loaded
+// value, the access latency, and ok=true; on failure (accessRevokedBit set)
+// it returns only the flag-check latency and ok=false, having performed no
+// memory access.
+func (e *Extension) CRead(core int, addr mem.Addr) (val uint64, lat uint64, ok bool) {
+	p := e.h.Params()
+	cs := &e.cores[core]
+	if cs.revoked {
+		e.stats.CReadFails++
+		return 0, p.LatFlagCheck, false
+	}
+	// The load may evict another tagged line of this core, setting the
+	// revoked bit; per the paper's atomicity, this cread still succeeds (its
+	// flag check happened first) and the next conditional access fails.
+	lat = e.h.Read(core, addr) + p.LatFlagCheck
+	line := mem.LineOf(addr)
+	gen := e.space.Gen(addr)
+	if t := cs.findTag(line); t != nil {
+		if e.Check && t.gen != gen {
+			panic(fmt.Sprintf("core: cread at %#x succeeded across reallocation (gen %d -> %d): Theorem 7 violated", addr, t.gen, gen))
+		}
+	} else {
+		cs.tags = append(cs.tags, tagEntry{line: line, gen: gen})
+		if len(cs.tags) > e.stats.MaxTagSet {
+			e.stats.MaxTagSet = len(cs.tags)
+		}
+	}
+	if e.Check && !e.space.Live(addr) {
+		panic(fmt.Sprintf("core: cread at %#x succeeded on a freed line: Theorem 6 violated", addr))
+	}
+	e.stats.CReads++
+	return e.space.Read(addr), lat, true
+}
+
+// CWrite executes a cwrite by core of v to addr. It fails — performing no
+// memory access — if the accessRevokedBit is set or addr's line is not in
+// the tag set (the paper requires a prior cread precisely to keep the
+// high-latency fill out of the store path; see Section II-B).
+func (e *Extension) CWrite(core int, addr mem.Addr, v uint64) (lat uint64, ok bool) {
+	p := e.h.Params()
+	cs := &e.cores[core]
+	if cs.revoked {
+		e.stats.CWriteFails++
+		return p.LatFlagCheck, false
+	}
+	t := cs.findTag(mem.LineOf(addr))
+	if t == nil {
+		e.stats.CWriteFails++
+		e.stats.Untagged++
+		return p.LatFlagCheck, false
+	}
+	gen := e.space.Gen(addr)
+	if e.Check {
+		if t.gen != gen {
+			panic(fmt.Sprintf("core: cwrite at %#x succeeded across reallocation (gen %d -> %d): Theorem 7 violated", addr, t.gen, gen))
+		}
+		if !e.space.Live(addr) {
+			panic(fmt.Sprintf("core: cwrite at %#x succeeded on a freed line: Theorem 6 violated", addr))
+		}
+	}
+	// The line is tagged, hence still resident in this L1 (tags live on
+	// lines): the write is at worst an S->M upgrade, never a fill.
+	lat = e.h.Write(core, addr) + p.LatFlagCheck
+	e.space.Write(addr, v)
+	e.stats.CWrites++
+	return lat, true
+}
+
+// UntagOne removes addr's line from core's tag set. It performs no memory
+// access and cannot fail; untagging an untagged line is a no-op.
+func (e *Extension) UntagOne(core int, addr mem.Addr) (lat uint64) {
+	cs := &e.cores[core]
+	line := mem.LineOf(addr)
+	for i := range cs.tags {
+		if cs.tags[i].line == line {
+			cs.tags[i] = cs.tags[len(cs.tags)-1]
+			cs.tags = cs.tags[:len(cs.tags)-1]
+			break
+		}
+	}
+	return e.h.Params().LatFlagCheck
+}
+
+// UntagAll clears core's tag set and accessRevokedBit.
+func (e *Extension) UntagAll(core int) (lat uint64) {
+	cs := &e.cores[core]
+	cs.tags = cs.tags[:0]
+	cs.revoked = false
+	return e.h.Params().LatFlagCheck
+}

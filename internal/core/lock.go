@@ -1,0 +1,67 @@
+package core
+
+import "condaccess/internal/mem"
+
+// Accessor is the per-thread instruction interface the Conditional Access
+// lock helpers are written against. The simulator's thread context
+// (sim.Ctx) implements it.
+type Accessor interface {
+	// CRead executes a cread; ok=false means the access failed and the
+	// operation must untagAll and restart.
+	CRead(addr mem.Addr) (v uint64, ok bool)
+	// CWrite executes a cwrite; ok=false means failure as above.
+	CWrite(addr mem.Addr, v uint64) bool
+	// Write is an ordinary store (used only where the paper permits:
+	// inside critical sections and for unlock).
+	Write(addr mem.Addr, v uint64)
+}
+
+// Lock field values.
+const (
+	Unlocked = 0
+	Locked   = 1
+)
+
+// MaxSpuriousRetries bounds the consecutive restarts a Conditional Access
+// operation will attempt before panicking with a diagnosis.
+//
+// Rationale: the tag set is physically bounded by L1 associativity (Section
+// III). An operation that must hold k lines tagged simultaneously livelocks
+// deterministically if those k lines collide in fewer than k ways of one
+// set — retrying re-derives the same addresses and evicts the same tag
+// forever. With the hand-over-hand untagOne discipline the structures here
+// need at most 2 (lists) or 3 (external BST) simultaneous tags, so any
+// associativity >= 4 cannot livelock; a direct-mapped L1 can, and would need
+// the software fallback the paper sketches in Section IV ("facilitating
+// progress"). Failing loudly with this explanation beats hanging the
+// simulation.
+const MaxSpuriousRetries = 1 << 20
+
+// ErrLivelock formats the panic message for a retry-cap overflow.
+func ErrLivelock(op string) string {
+	return "core: " + op + " exceeded MaxSpuriousRetries: tag set likely " +
+		"exceeds L1 associativity (direct-mapped caches need the paper's " +
+		"software fallback; see Section IV, facilitating progress)"
+}
+
+// TryLock is the Conditional Access try-lock of the paper's Algorithm 2.
+//
+// Precondition: the node containing lockAddr has already been cread, so its
+// line is tagged and any concurrent modification (including being freed and
+// recycled) revokes access, failing the cwrite. TryLock returns false if the
+// lock is busy or if either conditional access fails; in both cases the
+// caller unlocks anything it holds, untags all, and retries its operation.
+func TryLock(m Accessor, lockAddr mem.Addr) bool {
+	v, ok := m.CRead(lockAddr)
+	if !ok || v == Locked {
+		return false
+	}
+	return m.CWrite(lockAddr, Locked)
+}
+
+// Unlock releases a lock acquired by TryLock using a plain store: a locked
+// node cannot be concurrently mutated or freed by another thread, so the
+// conditional check is unnecessary (paper Section IV-B, step 5).
+func Unlock(m Accessor, lockAddr mem.Addr) {
+	m.Write(lockAddr, Unlocked)
+}

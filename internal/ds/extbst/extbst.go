@@ -1,0 +1,102 @@
+// Package extbst implements the external (leaf-oriented) binary search tree
+// of the paper's Figure 1 (bottom row), in the paper's own "optimistic
+// two-phase locking" design pattern (Section IV-B): operations search
+// optimistically, lock the nodes they will modify, validate (or, with
+// Conditional Access, let the try-locks prove nothing changed), mark before
+// unlinking, and reclaim.
+//
+// Structure. Internal nodes route: a search for key goes left when
+// key < node.key, right otherwise; all keys live in the leaves. An insert
+// replaces a leaf with a new internal node holding the old leaf and the new
+// one; a delete unlinks a leaf and its parent, reconnecting the sibling to
+// the grandparent. The tree is initialized with an immortal root
+// Internal(SentinelHigh) whose children are Leaf(SentinelLow) and
+// Leaf(SentinelHigh); real keys (< SentinelLow) always descend left of the
+// root, so every real leaf has an internal parent and a grandparent, and
+// the root is never locked as a grandparent target, never marked, never
+// freed.
+//
+// Substitution note (DESIGN.md): the paper's evaluation cites Ellen et
+// al.'s lock-free external BST; this lock-based external BST follows the
+// design pattern the paper itself prescribes for Conditional Access upgrades
+// and exercises the same code paths (long tagged descents, three-node
+// lock/validate, immediate free of an internal+leaf pair).
+package extbst
+
+import (
+	"condaccess/internal/ds/layout"
+	"condaccess/internal/mem"
+)
+
+// Tree geometry helpers shared by the two variants.
+
+// newTreeSentinels allocates the immortal root and its two sentinel leaves,
+// returning the root address.
+func newTreeSentinels(space *mem.Space) mem.Addr {
+	root := space.AllocInfra()
+	infLo := space.AllocInfra()
+	infHi := space.AllocInfra()
+	space.Write(infLo+layout.OffKey, layout.SentinelLow)
+	space.Write(infHi+layout.OffKey, layout.SentinelHigh)
+	space.Write(root+layout.OffKey, layout.SentinelHigh)
+	space.Write(root+layout.OffLeft, infLo)
+	space.Write(root+layout.OffRight, infHi)
+	return root
+}
+
+func checkKey(key uint64) {
+	if key == 0 || key >= layout.SentinelLow {
+		panic("extbst: key out of range [1, SentinelLow)")
+	}
+}
+
+// Keys returns the live user keys in sorted order by walking the tree
+// single-threadedly. Test helper; performs no simulated work.
+func Keys(space *mem.Space, root mem.Addr) []uint64 {
+	var ks []uint64
+	var walk func(a mem.Addr)
+	walk = func(a mem.Addr) {
+		left := space.Read(a + layout.OffLeft)
+		if left == 0 { // leaf
+			k := space.Read(a + layout.OffKey)
+			if k < layout.SentinelLow && space.Read(a+layout.OffMark) == 0 {
+				ks = append(ks, k)
+			}
+			return
+		}
+		walk(left)
+		walk(space.Read(a + layout.OffRight))
+	}
+	walk(root)
+	return ks
+}
+
+// Len returns the number of live user keys. Test helper.
+func Len(space *mem.Space, root mem.Addr) int { return len(Keys(space, root)) }
+
+// CheckShape validates the external-BST shape invariants single-threadedly:
+// every internal node has two children, every key routes correctly, and
+// leaves are where searches expect them. Test helper; returns a description
+// of the first violation, or "".
+func CheckShape(space *mem.Space, root mem.Addr) string {
+	var check func(a mem.Addr, lo, hi uint64) string
+	check = func(a mem.Addr, lo, hi uint64) string {
+		key := space.Read(a + layout.OffKey)
+		if key < lo || key > hi {
+			return "key out of routing range"
+		}
+		left := space.Read(a + layout.OffLeft)
+		right := space.Read(a + layout.OffRight)
+		if left == 0 && right == 0 {
+			return "" // leaf
+		}
+		if left == 0 || right == 0 {
+			return "internal node with one child"
+		}
+		if s := check(left, lo, key-1); s != "" {
+			return s
+		}
+		return check(right, key, hi)
+	}
+	return check(root, 0, layout.SentinelHigh)
+}

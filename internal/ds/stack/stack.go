@@ -1,0 +1,187 @@
+// Package stack implements the list-based unbounded Treiber stack used in
+// the paper's Figure 2 (bottom row), in two variants:
+//
+//   - CA: the Conditional Access upgrade of the paper's Algorithm 1 — every
+//     read becomes a cread, the CAS becomes a cwrite, and pop frees the
+//     unlinked node immediately.
+//   - Guarded: the classic CAS-based Treiber stack paired with a pluggable
+//     safe-memory-reclamation scheme from package smr.
+//
+// The stack is the paper's "single write in the update phase" design-pattern
+// example (Section IV-A): the only location readers must monitor is the top
+// pointer, so tag sets have size one and DII (validate reachability) is
+// trivially satisfied — the top pointer is immortal.
+package stack
+
+import (
+	"condaccess/internal/core"
+	"condaccess/internal/ds/layout"
+	"condaccess/internal/mem"
+	"condaccess/internal/sim"
+	"condaccess/internal/smr"
+)
+
+// CA is a Treiber stack using Conditional Access with immediate reclamation.
+type CA struct {
+	// topAddr is the line holding the top pointer (word 0). It is immortal.
+	topAddr mem.Addr
+}
+
+// NewCA builds an empty Conditional Access stack on space.
+func NewCA(space *mem.Space) *CA {
+	return &CA{topAddr: space.AllocInfra()}
+}
+
+// Push pushes key (paper Algorithm 1, PUSH).
+func (s *CA) Push(c *sim.Ctx, key uint64) {
+	n := c.AllocNode()
+	c.Write(n+layout.OffKey, key)
+	for spins := 0; ; spins++ {
+		if spins > core.MaxSpuriousRetries {
+			panic(core.ErrLivelock("stack.Push"))
+		}
+		t, ok := c.CRead(s.topAddr)
+		if !ok {
+			c.UntagAll()
+			continue
+		}
+		// The new node is private until linked: plain store.
+		c.Write(n+layout.OffNext, t)
+		if c.CWrite(s.topAddr, n) { // LP
+			c.UntagAll()
+			return
+		}
+		c.UntagAll()
+	}
+}
+
+// Pop pops the top key, freeing the unlinked node immediately (paper
+// Algorithm 1, POP). ok=false means the stack was empty.
+func (s *CA) Pop(c *sim.Ctx) (key uint64, ok bool) {
+	for spins := 0; ; spins++ {
+		if spins > core.MaxSpuriousRetries {
+			panic(core.ErrLivelock("stack.Pop"))
+		}
+		t, ok := c.CRead(s.topAddr)
+		if !ok {
+			c.UntagAll()
+			continue
+		}
+		if t == 0 {
+			c.UntagAll()
+			return 0, false
+		}
+		// t->next must itself be a cread: t may be freed by a concurrent
+		// pop, but that pop's cwrite on top revokes our top tag first.
+		next, ok := c.CRead(t + layout.OffNext)
+		if !ok {
+			c.UntagAll()
+			continue
+		}
+		if !c.CWrite(s.topAddr, next) { // LP
+			c.UntagAll()
+			continue
+		}
+		// We unlinked t: it is now private. A plain read is safe, and the
+		// immediate free is safe because every thread that tagged t also
+		// holds a tag on the top line our cwrite just invalidated.
+		key = c.Read(t + layout.OffKey)
+		c.UntagAll()
+		c.Free(t)
+		return key, true
+	}
+}
+
+// Peek returns the top key without popping. ok=false means empty.
+func (s *CA) Peek(c *sim.Ctx) (key uint64, ok bool) {
+	for spins := 0; ; spins++ {
+		if spins > core.MaxSpuriousRetries {
+			panic(core.ErrLivelock("stack.Peek"))
+		}
+		t, ok := c.CRead(s.topAddr)
+		if !ok {
+			c.UntagAll()
+			continue
+		}
+		if t == 0 {
+			c.UntagAll()
+			return 0, false
+		}
+		key, ok = c.CRead(t + layout.OffKey)
+		if !ok {
+			c.UntagAll()
+			continue
+		}
+		c.UntagAll()
+		return key, true
+	}
+}
+
+// Guarded is the classic Treiber stack paired with a reclamation scheme.
+type Guarded struct {
+	topAddr mem.Addr
+	r       smr.Reclaimer
+}
+
+// NewGuarded builds an empty stack reclaimed by r.
+func NewGuarded(space *mem.Space, r smr.Reclaimer) *Guarded {
+	return &Guarded{topAddr: space.AllocInfra(), r: r}
+}
+
+// Reclaimer returns the stack's reclamation scheme.
+func (s *Guarded) Reclaimer() smr.Reclaimer { return s.r }
+
+// Push pushes key. Pushes need no protection: the node is private until the
+// CAS, and a stale top value only fails the CAS.
+func (s *Guarded) Push(c *sim.Ctx, key uint64) {
+	n := s.r.Alloc(c)
+	c.Write(n+layout.OffKey, key)
+	s.r.BeginOp(c)
+	for {
+		t := c.Read(s.topAddr)
+		c.Write(n+layout.OffNext, t)
+		if c.CAS(s.topAddr, t, n) {
+			break
+		}
+	}
+	s.r.EndOp(c)
+}
+
+// Pop pops the top key and retires the unlinked node. The protection makes
+// the CAS ABA-safe: a protected node cannot be freed, hence cannot be
+// recycled into a new push at the same address.
+func (s *Guarded) Pop(c *sim.Ctx) (key uint64, ok bool) {
+	s.r.BeginOp(c)
+	defer s.r.EndOp(c)
+	for {
+		t := c.Read(s.topAddr)
+		if t == 0 {
+			return 0, false
+		}
+		if !s.r.Protect(c, 0, t, s.topAddr) {
+			continue
+		}
+		next := c.Read(t + layout.OffNext)
+		key = c.Read(t + layout.OffKey)
+		if c.CAS(s.topAddr, t, next) {
+			s.r.Retire(c, t)
+			return key, true
+		}
+	}
+}
+
+// Peek returns the top key without popping.
+func (s *Guarded) Peek(c *sim.Ctx) (key uint64, ok bool) {
+	s.r.BeginOp(c)
+	defer s.r.EndOp(c)
+	for {
+		t := c.Read(s.topAddr)
+		if t == 0 {
+			return 0, false
+		}
+		if !s.r.Protect(c, 0, t, s.topAddr) {
+			continue
+		}
+		return c.Read(t + layout.OffKey), true
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import "condaccess/internal/mem"
+
+// Ctx is a simulated thread's execution context. All shared-memory accesses,
+// Conditional Access instructions, fences, allocation, and local work go
+// through it so that every action is charged simulated cycles and serialized
+// by the scheduler. A Ctx is only valid inside the body passed to
+// Machine.Spawn and must not escape to other goroutines.
+//
+// Ctx implements core.Accessor, so the Conditional Access try-lock helpers
+// (core.TryLock, core.Unlock) work directly on it.
+type Ctx struct {
+	th      *thread
+	m       *Machine
+	limit   uint64
+	rng     *RNG
+	zeroRun uint64 // consecutive zero-cycle charges (watchdog)
+}
+
+// zeroChargeLimit bounds consecutive zero-latency operations. A simulated
+// thread that loops without advancing its clock would never yield and would
+// silently wedge the whole machine; failing loudly points at the zero-cost
+// loop instead.
+const zeroChargeLimit = 1 << 26
+
+// charge advances this core's clock by lat cycles and yields to the
+// scheduler if the quantum is exhausted. It runs after the access has taken
+// effect, so accesses are atomic at their issue time.
+func (c *Ctx) charge(lat uint64) {
+	if lat == 0 {
+		if c.zeroRun++; c.zeroRun > zeroChargeLimit {
+			panic("sim: thread looped >2^26 times without consuming simulated time")
+		}
+	} else {
+		c.zeroRun = 0
+	}
+	cl := &c.m.clocks[c.th.c]
+	*cl += lat
+	if *cl > c.limit {
+		c.th.yield <- false
+		c.limit = <-c.th.resume
+	}
+}
+
+// ThreadID returns this thread's spawn index within its Run phase's core
+// assignment (equal to its core number).
+func (c *Ctx) ThreadID() int { return c.th.c }
+
+// Rand returns this thread's deterministic workload RNG.
+func (c *Ctx) Rand() *RNG { return c.rng }
+
+// Clock returns this core's current cycle count.
+func (c *Ctx) Clock() uint64 { return c.m.clocks[c.th.c] }
+
+// Machine returns the machine this context runs on.
+func (c *Ctx) Machine() *Machine { return c.m }
+
+// Read performs an ordinary load.
+func (c *Ctx) Read(a mem.Addr) uint64 {
+	lat := c.m.Hier.Read(c.th.c, a)
+	v := c.m.Space.Read(a)
+	c.charge(lat)
+	return v
+}
+
+// Write performs an ordinary store.
+func (c *Ctx) Write(a mem.Addr, v uint64) {
+	lat := c.m.Hier.Write(c.th.c, a)
+	c.m.Space.Write(a, v)
+	c.charge(lat)
+}
+
+// CAS performs an atomic compare-and-swap, returning true on success. Like
+// hardware cmpxchg, it acquires the line exclusively whether or not the
+// comparison succeeds.
+func (c *Ctx) CAS(a mem.Addr, old, new uint64) bool {
+	lat := c.m.Hier.Write(c.th.c, a)
+	cur := c.m.Space.Read(a)
+	ok := cur == old
+	if ok {
+		c.m.Space.Write(a, new)
+	}
+	c.charge(lat + 1)
+	return ok
+}
+
+// FetchAdd atomically adds d to the word at a and returns the previous value.
+func (c *Ctx) FetchAdd(a mem.Addr, d uint64) uint64 {
+	lat := c.m.Hier.Write(c.th.c, a)
+	v := c.m.Space.Read(a)
+	c.m.Space.Write(a, v+d)
+	c.charge(lat + 1)
+	return v
+}
+
+// CRead executes the Conditional Access cread instruction: on success it
+// returns the loaded value with the line tagged; ok=false means the
+// accessRevokedBit was set and no load occurred — the operation must
+// UntagAll and restart.
+func (c *Ctx) CRead(a mem.Addr) (v uint64, ok bool) {
+	v, lat, ok := c.m.Ext.CRead(c.th.c, a)
+	c.charge(lat)
+	return v, ok
+}
+
+// CWrite executes the cwrite instruction: the store happens only if the
+// accessRevokedBit is clear and a's line is tagged (i.e. previously cread).
+func (c *Ctx) CWrite(a mem.Addr, v uint64) bool {
+	lat, ok := c.m.Ext.CWrite(c.th.c, a, v)
+	c.charge(lat)
+	return ok
+}
+
+// UntagOne removes a's line from this thread's tag set.
+func (c *Ctx) UntagOne(a mem.Addr) {
+	c.charge(c.m.Ext.UntagOne(c.th.c, a))
+}
+
+// UntagAll clears the tag set and the accessRevokedBit.
+func (c *Ctx) UntagAll() {
+	c.charge(c.m.Ext.UntagAll(c.th.c))
+}
+
+// Revoked reports this thread's accessRevokedBit (diagnostic; real code
+// learns of revocation through failing conditional accesses).
+func (c *Ctx) Revoked() bool { return c.m.Ext.Revoked(c.th.c) }
+
+// Fence models a full memory fence / store buffer drain. The reservation-
+// based reclamation schemes (hp, he, ibr) pay one per protected read; this
+// is the per-read overhead the paper attributes their slowness to.
+func (c *Ctx) Fence() { c.charge(c.m.Hier.Params().LatFence) }
+
+// Work charges n cycles of local computation.
+func (c *Ctx) Work(n uint64) { c.charge(n) }
+
+// PreemptCycles is the modeled cost of an OS context switch.
+const PreemptCycles = 2000
+
+// Preempt models an OS context switch of this thread: the paper's Section
+// III has the OS set the switched-out thread's accessRevokedBit instead of
+// tracking invalidations on its behalf, so the thread's next conditional
+// access fails and its operation restarts. Charges PreemptCycles.
+func (c *Ctx) Preempt() {
+	c.m.Ext.RevokeThread(c.th.c)
+	c.charge(PreemptCycles)
+}
+
+// AllocNode allocates a 64-byte node from the simulated heap.
+func (c *Ctx) AllocNode() mem.Addr {
+	a := c.m.Space.AllocNode()
+	c.charge(c.m.cfg.AllocCycles)
+	return a
+}
+
+// Free returns a node to the simulated heap. The paper's reclaimer rule —
+// a thread must write to a node before freeing it — is the caller's
+// responsibility and is validated in Check mode.
+func (c *Ctx) Free(a mem.Addr) {
+	c.m.Space.FreeNode(a)
+	c.charge(c.m.cfg.FreeCycles)
+}

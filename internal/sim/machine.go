@@ -1,0 +1,218 @@
+// Package sim is the deterministic multicore simulator the reproduction runs
+// on — the stand-in for the paper's Graphite.
+//
+// Each simulated thread is a goroutine pinned to a simulated core with its
+// own cycle clock. A conservative scheduler always resumes the runnable
+// thread with the smallest clock and lets it run until its clock passes the
+// next-smallest clock plus a slack window (Graphite's "lax" peer-to-peer
+// synchronization uses the same idea). Exactly one thread executes between
+// handshakes, so every simulated memory access is atomic, the memory model
+// is sequentially consistent, and — because scheduling depends only on
+// clocks and per-thread seeds — every run is bit-for-bit reproducible.
+//
+// Simulated time comes from the cache model: every access returns a latency
+// (package cache) charged to the issuing core. Conditional Access
+// instructions are provided by the extension in package core.
+package sim
+
+import (
+	"fmt"
+
+	"condaccess/internal/cache"
+	"condaccess/internal/core"
+	"condaccess/internal/mem"
+)
+
+// Config describes a simulated machine.
+type Config struct {
+	// Cores is the number of simulated cores (= maximum concurrent threads).
+	Cores int
+	// Cache overrides the hierarchy parameters; zero value means
+	// cache.DefaultParams(Cores).
+	Cache cache.Params
+	// Slack is the scheduling quantum in cycles: a thread may run until its
+	// clock exceeds the next runnable thread's clock by Slack. Zero means
+	// DefaultSlack. Smaller values interleave more finely (and run slower).
+	Slack uint64
+	// Seed derives every thread's workload RNG.
+	Seed uint64
+	// Check enables the executable safety invariants: use-after-free
+	// detection on every access and the Conditional Access generation checks
+	// (the paper's Theorems 6 and 7).
+	Check bool
+	// AllocCycles and FreeCycles model allocator cost. Zero means defaults.
+	AllocCycles uint64
+	FreeCycles  uint64
+}
+
+// Default scheduling and allocator costs.
+const (
+	DefaultSlack       = 200
+	DefaultAllocCycles = 30
+	DefaultFreeCycles  = 20
+)
+
+func (c Config) withDefaults() Config {
+	if c.Cache.Cores == 0 {
+		c.Cache = cache.DefaultParams(c.Cores)
+	}
+	if c.Cache.Cores != c.Cores {
+		panic("sim: cache params core count mismatch")
+	}
+	if c.Slack == 0 {
+		c.Slack = DefaultSlack
+	}
+	if c.AllocCycles == 0 {
+		c.AllocCycles = DefaultAllocCycles
+	}
+	if c.FreeCycles == 0 {
+		c.FreeCycles = DefaultFreeCycles
+	}
+	return c
+}
+
+// Machine is a simulated multicore. Build one with New, add threads with
+// Spawn, and execute them to completion with Run. A machine can run several
+// phases (e.g. a single-threaded prefill followed by the measured workload);
+// heap and cache state persist across phases.
+type Machine struct {
+	cfg    Config
+	Space  *mem.Space
+	Hier   *cache.Hierarchy
+	Ext    *core.Extension
+	clocks []uint64
+
+	threads []*thread
+	spawned int
+}
+
+type thread struct {
+	id   int
+	c    int // core
+	m    *Machine
+	body func(*Ctx)
+
+	resume chan uint64 // scheduler -> thread: run-until limit
+	yield  chan bool   // thread -> scheduler: true = finished
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	if cfg.Cores <= 0 || cfg.Cores > 64 {
+		panic("sim: cores must be in [1,64]")
+	}
+	m := &Machine{cfg: cfg}
+	m.Space = mem.NewSpace()
+	m.Space.CheckUAF = cfg.Check
+	m.Ext = core.New(cfg.Cores)
+	m.Ext.Check = cfg.Check
+	m.Hier = cache.New(cfg.Cache, m.Ext)
+	m.Ext.Attach(m.Hier, m.Space)
+	m.clocks = make([]uint64, cfg.Cores)
+	return m
+}
+
+// Config returns the machine's configuration (with defaults applied).
+func (m *Machine) Config() Config { return m.cfg }
+
+// Spawn adds a thread for the next Run phase. Threads are assigned to cores
+// in spawn order; spawning more threads than cores panics (the paper runs
+// one thread per dedicated core).
+func (m *Machine) Spawn(body func(*Ctx)) {
+	if len(m.threads) >= m.cfg.Cores {
+		panic("sim: more threads than cores")
+	}
+	t := &thread{
+		id:     m.spawned,
+		c:      len(m.threads),
+		m:      m,
+		body:   body,
+		resume: make(chan uint64),
+		yield:  make(chan bool),
+	}
+	m.spawned++
+	m.threads = append(m.threads, t)
+}
+
+// Run executes all spawned threads to completion under the conservative
+// min-clock scheduler, then clears the thread list so another phase can be
+// spawned.
+func (m *Machine) Run() {
+	for _, t := range m.threads {
+		go t.main()
+	}
+	// Simple ordered list as a priority queue; thread counts are <= 64 so a
+	// linear scan is faster than container/heap here.
+	live := append([]*thread(nil), m.threads...)
+	for len(live) > 0 {
+		// Find min clock (ties broken by core id via scan order).
+		mi := 0
+		for i := 1; i < len(live); i++ {
+			if m.clocks[live[i].c] < m.clocks[live[mi].c] {
+				mi = i
+			}
+		}
+		t := live[mi]
+		limit := ^uint64(0)
+		if len(live) > 1 {
+			second := ^uint64(0)
+			for i, o := range live {
+				if i != mi && m.clocks[o.c] < second {
+					second = m.clocks[o.c]
+				}
+			}
+			limit = second + m.cfg.Slack
+		}
+		t.resume <- limit
+		if done := <-t.yield; done {
+			live[mi] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	m.threads = m.threads[:0]
+}
+
+func (t *thread) main() {
+	limit := <-t.resume
+	ctx := &Ctx{
+		th:    t,
+		m:     t.m,
+		limit: limit,
+		rng:   NewRNG(t.m.cfg.Seed + uint64(t.id)*0x9E3779B97F4A7C15 + 1),
+	}
+	t.body(ctx)
+	t.yield <- true
+}
+
+// Clock returns core c's cycle counter.
+func (m *Machine) Clock(c int) uint64 { return m.clocks[c] }
+
+// MaxClock returns the largest core clock — the simulated wall time.
+func (m *Machine) MaxClock() uint64 {
+	var max uint64
+	for _, c := range m.clocks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// ResetClocks zeroes all core clocks. The harness calls it between the
+// prefill phase and the measured phase.
+func (m *Machine) ResetClocks() {
+	if len(m.threads) != 0 {
+		panic("sim: ResetClocks with threads pending")
+	}
+	for i := range m.clocks {
+		m.clocks[i] = 0
+	}
+}
+
+// String summarizes the machine.
+func (m *Machine) String() string {
+	return fmt.Sprintf("sim.Machine{cores:%d l1:%dKB/%d-way l2:%dKB/%d-way slack:%d}",
+		m.cfg.Cores, m.cfg.Cache.L1Bytes>>10, m.cfg.Cache.L1Assoc,
+		m.cfg.Cache.L2Bytes>>10, m.cfg.Cache.L2Assoc, m.cfg.Slack)
+}

@@ -1,0 +1,139 @@
+package smr
+
+import (
+	"condaccess/internal/mem"
+	"condaccess/internal/sim"
+)
+
+// epoch implements the two epoch-based schemes:
+//
+//   - rcu: readers announce the global epoch with a fenced store on every
+//     operation entry and withdraw on exit. This is epoch-based reclamation
+//     in the style the paper's benchmark calls "rcu".
+//   - qsbr: quiescent-state-based reclamation. Threads announce the epoch
+//     they last observed at operation boundaries (their quiescent states)
+//     with a plain store and never withdraw. Cheaper than rcu (no fence, no
+//     begin-of-op work) but a single stalled thread blocks all reclamation —
+//     the unbounded-footprint weakness the paper points out.
+//
+// Both have zero per-read overhead, which is why the paper finds them (with
+// none) to be the fastest baselines. Reclamation frees a retired node once
+// its retire epoch precedes every announced reservation.
+type epoch struct {
+	qsbr bool
+	o    Options
+
+	globalAddr mem.Addr   // global epoch word
+	resAddr    []mem.Addr // per-thread reservation word, one line each
+
+	perThread []epochThread
+	stats     Stats
+}
+
+type epochThread struct {
+	allocs  uint64
+	retired []retiredNode
+}
+
+func newEpoch(space *mem.Space, nThreads int, o Options, qsbr bool) *epoch {
+	e := &epoch{qsbr: qsbr, o: o}
+	e.globalAddr = space.AllocInfra()
+	space.Write(e.globalAddr, 1) // epochs start at 1 so 0 reads as "idle"
+	e.resAddr = make([]mem.Addr, nThreads)
+	for t := range e.resAddr {
+		e.resAddr[t] = space.AllocInfra()
+		if qsbr {
+			// qsbr threads have not passed a quiescent state yet; epoch 0
+			// blocks reclamation until they first announce.
+			space.Write(e.resAddr[t], 0)
+		} else {
+			space.Write(e.resAddr[t], inf)
+		}
+	}
+	e.perThread = make([]epochThread, nThreads)
+	return e
+}
+
+func (e *epoch) Name() string {
+	if e.qsbr {
+		return "qsbr"
+	}
+	return "rcu"
+}
+
+func (e *epoch) BeginOp(c *sim.Ctx) {
+	if e.qsbr {
+		return
+	}
+	t := c.ThreadID()
+	v := c.Read(e.globalAddr)
+	c.Write(e.resAddr[t], v)
+	c.Fence()
+}
+
+func (e *epoch) EndOp(c *sim.Ctx) {
+	t := c.ThreadID()
+	if e.qsbr {
+		// Operation boundaries are the quiescent states: announce the
+		// current epoch with a plain (unfenced) store.
+		v := c.Read(e.globalAddr)
+		c.Write(e.resAddr[t], v)
+		return
+	}
+	c.Write(e.resAddr[t], inf)
+}
+
+// Protect is free: epoch-based readers pay nothing per read.
+func (e *epoch) Protect(c *sim.Ctx, slot int, node, src mem.Addr) bool { return true }
+
+func (e *epoch) Alloc(c *sim.Ctx) mem.Addr {
+	t := c.ThreadID()
+	pt := &e.perThread[t]
+	pt.allocs++
+	if pt.allocs%uint64(e.o.EpochEvery) == 0 {
+		c.FetchAdd(e.globalAddr, 1)
+	}
+	return c.AllocNode()
+}
+
+func (e *epoch) Retire(c *sim.Ctx, node mem.Addr) {
+	t := c.ThreadID()
+	pt := &e.perThread[t]
+	pt.retired = append(pt.retired, retiredNode{addr: node, retire: c.Read(e.globalAddr)})
+	e.stats.Retired++
+	c.Work(retireCost)
+	if len(pt.retired) >= e.o.ReclaimEvery {
+		e.scan(c, pt)
+	}
+	if len(pt.retired) > e.stats.MaxBacklog {
+		e.stats.MaxBacklog = len(pt.retired)
+	}
+}
+
+// scan frees every retired node whose retire epoch precedes all announced
+// reservations. The reservation reads are real shared-memory reads, so the
+// scan cost (and the cache misses it takes) is charged to the reclaimer.
+func (e *epoch) scan(c *sim.Ctx, pt *epochThread) {
+	e.stats.Scans++
+	minRes := uint64(inf)
+	for _, ra := range e.resAddr {
+		if v := c.Read(ra); v < minRes {
+			minRes = v
+		}
+	}
+	kept := pt.retired[:0]
+	for _, rn := range pt.retired {
+		if rn.retire < minRes {
+			c.Free(rn.addr)
+			e.stats.Freed++
+		} else {
+			kept = append(kept, rn)
+		}
+	}
+	pt.retired = kept
+}
+
+func (e *epoch) Stats() Stats { return e.stats }
+
+// Validating: epoch reservations protect every unreclaimed node.
+func (e *epoch) Validating() bool { return false }

@@ -1,0 +1,34 @@
+package smr
+
+import (
+	"condaccess/internal/mem"
+	"condaccess/internal/sim"
+)
+
+// none is the leaky baseline: retired nodes are forgotten, never freed. It
+// is trivially safe (nothing is ever reclaimed) and has zero per-read and
+// per-retire overhead, which makes it the throughput ceiling the paper
+// normalizes against — at the cost of an unbounded memory footprint.
+type none struct {
+	stats Stats
+}
+
+func newNone() *none { return &none{} }
+
+func (n *none) Name() string                                          { return "none" }
+func (n *none) BeginOp(c *sim.Ctx)                                    {}
+func (n *none) EndOp(c *sim.Ctx)                                      {}
+func (n *none) Protect(c *sim.Ctx, slot int, node, src mem.Addr) bool { return true }
+func (n *none) Alloc(c *sim.Ctx) mem.Addr                             { return c.AllocNode() }
+
+func (n *none) Retire(c *sim.Ctx, node mem.Addr) {
+	// Leak: the node stays allocated forever (its footprint shows up in the
+	// Figure 3 accounting).
+	n.stats.Retired++
+	c.Work(1)
+}
+
+func (n *none) Stats() Stats { return n.stats }
+
+// Validating: the leaky baseline never frees, so no re-validation is needed.
+func (n *none) Validating() bool { return false }

@@ -1,0 +1,137 @@
+// Package smr implements the safe memory reclamation schemes the paper
+// benchmarks Conditional Access against (Section V): a leaky baseline
+// (none), epoch-based RCU (rcu), quiescent-state-based reclamation (qsbr),
+// interval-based reclamation in its 2GEIBR variant (ibr), hazard pointers
+// (hp), and hazard eras (he).
+//
+// All reclamation metadata that real implementations keep in shared memory —
+// the global epoch/era word, per-thread reservations, hazard slots — lives
+// in the simulated heap, one cache line per thread, so the coherence traffic
+// these schemes generate (the fences and remote reads the paper blames for
+// hp/he/ibr's slowness) is faithfully charged by the cache model. Retired
+// lists are reclaimer-local bookkeeping, modeled with a small cycle charge
+// per operation.
+//
+// Parameter defaults follow the paper: reclamation is attempted every 30
+// retires and the epoch/era advances every 150 allocations.
+package smr
+
+import (
+	"fmt"
+
+	"condaccess/internal/mem"
+	"condaccess/internal/sim"
+)
+
+// Node-layout contract shared with the data structures: the last word of
+// every 64-byte node holds the birth era for the era-based schemes.
+const (
+	// BirthEraOff is the byte offset of the birth-era word in a node line.
+	BirthEraOff = 7 * mem.WordBytes
+	// MaxSlots is the number of protection slots every scheme must support
+	// (the deepest requirement is three: grandparent/parent/leaf in the BST
+	// and pred/curr/next rotation in the list).
+	MaxSlots = 4
+)
+
+// inf marks an inactive reservation.
+const inf = ^uint64(0)
+
+// Options tunes a reclamation scheme. The zero value selects the paper's
+// defaults.
+type Options struct {
+	// ReclaimEvery is the reclamation frequency: a scan/free pass runs after
+	// this many retires by a thread. Paper default: 30.
+	ReclaimEvery int
+	// EpochEvery is the epoch frequency: the global epoch/era advances after
+	// this many allocations by a thread. Paper default: 150.
+	EpochEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ReclaimEvery == 0 {
+		o.ReclaimEvery = 30
+	}
+	if o.EpochEvery == 0 {
+		o.EpochEvery = 150
+	}
+	return o
+}
+
+// Reclaimer is the hook interface the guarded (non-Conditional-Access) data
+// structure variants are written against.
+//
+// The contract, per operation:
+//
+//	BeginOp(c)
+//	... traversal: Protect(c, slot, node, src) before first dereferencing
+//	    node, where src is the address of the pointer field node was loaded
+//	    from (0 for immortal roots). false means restart the operation.
+//	... writers: Retire(c, node) after a node is unlinked and can no longer
+//	    be reached by new operations.
+//	EndOp(c)
+//
+// Alloc must be used instead of Ctx.AllocNode so era-based schemes can stamp
+// birth eras and advance epochs.
+type Reclaimer interface {
+	Name() string
+	BeginOp(c *sim.Ctx)
+	EndOp(c *sim.Ctx)
+	Protect(c *sim.Ctx, slot int, node, src mem.Addr) bool
+	Alloc(c *sim.Ctx) mem.Addr
+	Retire(c *sim.Ctx, node mem.Addr)
+	// Validating reports whether Protect's guarantee is conditional on the
+	// structure re-validating link/mark invariants after each Protect (true
+	// for the pointer- and era-publishing schemes hp and he, whose published
+	// protection only covers nodes that were reachable at publish time).
+	// Epoch- and interval-based schemes protect everything unreclaimed and
+	// return false, letting traversals skip the extra validation reads.
+	Validating() bool
+	// Stats reports scheme-level counters for the harness.
+	Stats() Stats
+}
+
+// Stats aggregates reclaimer activity.
+type Stats struct {
+	Retired    uint64
+	Freed      uint64
+	Scans      uint64
+	MaxBacklog int // largest retired-not-yet-freed backlog of any thread
+}
+
+// New constructs a reclaimer by name for a machine with nThreads simulated
+// threads over space. Valid names: none, rcu, qsbr, ibr, hp, he.
+// Conditional Access is not a Reclaimer — it is a different code path in the
+// data structures — so "ca" is rejected here.
+func New(name string, space *mem.Space, nThreads int, o Options) (Reclaimer, error) {
+	o = o.withDefaults()
+	switch name {
+	case "none":
+		return newNone(), nil
+	case "rcu":
+		return newEpoch(space, nThreads, o, false), nil
+	case "qsbr":
+		return newEpoch(space, nThreads, o, true), nil
+	case "ibr":
+		return newIBR(space, nThreads, o), nil
+	case "hp":
+		return newHP(space, nThreads, o), nil
+	case "he":
+		return newHE(space, nThreads, o), nil
+	default:
+		return nil, fmt.Errorf("smr: unknown scheme %q", name)
+	}
+}
+
+// Names lists the reclaimer schemes in the order the paper plots them.
+func Names() []string { return []string{"none", "ibr", "rcu", "qsbr", "hp", "he"} }
+
+// retiredNode is one entry of a per-thread retired list.
+type retiredNode struct {
+	addr   mem.Addr
+	birth  uint64 // era-based schemes
+	retire uint64 // epoch/era at retire time
+}
+
+// retireCost is the local bookkeeping charge for pushing one retired node.
+const retireCost = 3
