@@ -1,6 +1,8 @@
 // cabench runs one throughput sweep of the paper's evaluation: a data
 // structure crossed with reclamation schemes, thread counts, and update
-// rates, reporting operations per million simulated cycles.
+// rates, reporting operations per million simulated cycles. Trials fan out
+// across OS threads (-workers, default GOMAXPROCS); results are identical
+// to -workers 1, just faster.
 //
 // Examples:
 //
@@ -9,36 +11,61 @@
 //	cabench -ds hash                                            # Figure 2 top
 //	cabench -ds stack                                           # Figure 2 bottom
 //	cabench -ds list -schemes ca,rcu -check                     # with safety assertions
+//	cabench -ds list -trials 3 -workers 8                       # parallel trial execution
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"condaccess/internal/bench"
 )
 
-func main() {
+// options is the parsed command line.
+type options struct {
+	cfg     bench.SweepConfig
+	csvPath string
+	verbose bool
+}
+
+// reportedError marks an error the flag package has already printed to
+// stderr (with usage), so main must not print it a second time.
+type reportedError struct{ err error }
+
+func (e reportedError) Error() string { return e.err.Error() }
+func (e reportedError) Unwrap() error { return e.err }
+
+// parseArgs parses the flag set into a SweepConfig, applying the paper's
+// per-structure key-range defaults. Split out of main for testability.
+func parseArgs(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("cabench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		ds      = flag.String("ds", "list", "data structure: list, bst, hash, stack, queue")
-		schemes = flag.String("schemes", "none,ca,ibr,rcu,qsbr,hp,he", "comma-separated schemes")
-		threads = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
-		updates = flag.String("updates", "0,10,100", "comma-separated update percentages")
-		ops     = flag.Int("ops", 3000, "operations per thread (paper: 3000)")
-		keys    = flag.Uint64("range", 0, "key range (default: paper's per-structure value)")
-		buckets = flag.Int("buckets", 128, "hash table buckets")
-		seed    = flag.Uint64("seed", 1, "base RNG seed")
-		trials  = flag.Int("trials", 1, "trials per point, throughput averaged (paper: 3)")
-		check   = flag.Bool("check", false, "enable use-after-free and Theorem 6/7 assertions")
-		csvPath = flag.String("csv", "", "also write long-form CSV to this file")
-		verbose = flag.Bool("v", false, "print each point as it completes")
-		dist    = flag.String("dist", "uniform", "key distribution: uniform or zipf")
-		lat     = flag.Bool("lat", false, "also print per-point latency percentiles")
+		ds      = fs.String("ds", "list", "data structure: list, bst, hash, stack, queue")
+		schemes = fs.String("schemes", "none,ca,ibr,rcu,qsbr,hp,he", "comma-separated schemes")
+		threads = fs.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
+		updates = fs.String("updates", "0,10,100", "comma-separated update percentages")
+		ops     = fs.Int("ops", 3000, "operations per thread (paper: 3000)")
+		keys    = fs.Uint64("range", 0, "key range (default: paper's per-structure value)")
+		buckets = fs.Int("buckets", 128, "hash table buckets")
+		seed    = fs.Uint64("seed", 1, "base RNG seed")
+		trials  = fs.Int("trials", 1, "trials per point, throughput averaged (paper: 3)")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (1: sequential)")
+		check   = fs.Bool("check", false, "enable use-after-free and Theorem 6/7 assertions")
+		csvPath = fs.String("csv", "", "also write long-form CSV to this file")
+		verbose = fs.Bool("v", false, "print each point as it completes")
+		dist    = fs.String("dist", "uniform", "key distribution: uniform or zipf")
+		lat     = fs.Bool("lat", false, "also print per-point latency percentiles")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return options{}, reportedError{err}
+	}
 
 	kr := *keys
 	if kr == 0 {
@@ -47,21 +74,53 @@ func main() {
 			kr = 10000 // paper: extbst uses 10K keys
 		}
 	}
-	cfg := bench.SweepConfig{
-		DS:       *ds,
-		Schemes:  splitList(*schemes),
-		Threads:  splitInts(*threads),
-		Updates:  splitInts(*updates),
-		KeyRange: kr, Ops: *ops, Buckets: *buckets,
-		Seed: *seed, Check: *check, Trials: *trials,
-		Dist: *dist, RecordLatency: *lat,
+	schemeList := splitList(*schemes)
+	threadList, err := splitInts(*threads)
+	if err != nil {
+		return options{}, fmt.Errorf("-threads: %w", err)
 	}
+	updateList, err := splitInts(*updates)
+	if err != nil {
+		return options{}, fmt.Errorf("-updates: %w", err)
+	}
+	return options{
+		cfg: bench.SweepConfig{
+			DS:       *ds,
+			Schemes:  schemeList,
+			Threads:  threadList,
+			Updates:  updateList,
+			KeyRange: kr, Ops: *ops, Buckets: *buckets,
+			Seed: *seed, Check: *check, Trials: *trials, Workers: *workers,
+			Dist: *dist, RecordLatency: *lat,
+		},
+		csvPath: *csvPath,
+		verbose: *verbose,
+	}, nil
+}
+
+func main() {
+	opt, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		var rep reportedError
+		if !errors.As(err, &rep) {
+			fmt.Fprintln(os.Stderr, "cabench:", err)
+		}
+		os.Exit(2)
+	}
+	cfg := opt.cfg
+	lat := cfg.RecordLatency
 	var progress func(bench.SweepPoint)
-	if *verbose || *lat {
+	if opt.verbose || lat {
+		total := len(cfg.Schemes) * len(cfg.Threads) * len(cfg.Updates)
+		n := 0
 		progress = func(p bench.SweepPoint) {
-			fmt.Fprintf(os.Stderr, "  %-5s t=%-2d u=%3d%%: %10.1f ops/Mcyc",
-				p.Scheme, p.Threads, p.UpdatePct, p.Throughput)
-			if *lat {
+			n++
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-5s t=%-2d u=%3d%%: %10.1f ops/Mcyc",
+				n, total, p.Scheme, p.Threads, p.UpdatePct, p.Throughput)
+			if lat {
 				l := p.Result.Latency
 				fmt.Fprintf(os.Stderr, "  p50=%d p99=%d p99.9=%d max=%d", l.P50, l.P99, l.P999, l.Max)
 			}
@@ -75,18 +134,18 @@ func main() {
 	}
 	for _, u := range cfg.Updates {
 		fmt.Printf("== %s, %d%% updates (%di-%dd), %d keys, %d ops/thread [ops/Mcyc] ==\n",
-			*ds, u, u/2, u/2, kr, *ops)
+			cfg.DS, u, u/2, u/2, cfg.KeyRange, cfg.Ops)
 		fmt.Print(bench.FormatTable(points, u))
 		fmt.Println()
 	}
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+	if opt.csvPath != "" {
+		f, err := os.Create(opt.csvPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cabench:", err)
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := bench.WriteCSV(f, *ds, points); err != nil {
+		if err := bench.WriteCSV(f, cfg.DS, points); err != nil {
 			fmt.Fprintln(os.Stderr, "cabench:", err)
 			os.Exit(1)
 		}
@@ -103,15 +162,14 @@ func splitList(s string) []string {
 	return out
 }
 
-func splitInts(s string) []int {
+func splitInts(s string) ([]int, error) {
 	var out []int
 	for _, p := range splitList(s) {
 		n, err := strconv.Atoi(p)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cabench: bad integer %q\n", p)
-			os.Exit(1)
+			return nil, fmt.Errorf("bad integer %q", p)
 		}
 		out = append(out, n)
 	}
-	return out
+	return out, nil
 }

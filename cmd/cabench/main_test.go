@@ -1,0 +1,84 @@
+package main
+
+import (
+	"io"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	opt, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := opt.cfg
+	if cfg.DS != "list" || cfg.KeyRange != 1000 {
+		t.Errorf("default ds/range = %s/%d, want list/1000", cfg.DS, cfg.KeyRange)
+	}
+	if !reflect.DeepEqual(cfg.Threads, []int{1, 2, 4, 8, 16, 32}) {
+		t.Errorf("default threads = %v", cfg.Threads)
+	}
+	if !reflect.DeepEqual(cfg.Updates, []int{0, 10, 100}) {
+		t.Errorf("default updates = %v", cfg.Updates)
+	}
+	if cfg.Workers != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS %d", cfg.Workers, runtime.GOMAXPROCS(0))
+	}
+	if cfg.Trials != 1 || cfg.Ops != 3000 || cfg.Seed != 1 {
+		t.Errorf("default trials/ops/seed = %d/%d/%d", cfg.Trials, cfg.Ops, cfg.Seed)
+	}
+}
+
+func TestParseArgsPaperKeyRanges(t *testing.T) {
+	bst, err := parseArgs([]string{"-ds", "bst"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst.cfg.KeyRange != 10000 {
+		t.Errorf("bst default range = %d, want 10000", bst.cfg.KeyRange)
+	}
+	over, err := parseArgs([]string{"-ds", "bst", "-range", "500"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.cfg.KeyRange != 500 {
+		t.Errorf("-range not honored: %d", over.cfg.KeyRange)
+	}
+}
+
+func TestParseArgsLists(t *testing.T) {
+	opt, err := parseArgs([]string{
+		"-schemes", "ca, rcu,,hp", "-threads", " 2 ,8", "-updates", "50",
+		"-workers", "3", "-trials", "4", "-csv", "out.csv", "-v", "-lat",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := opt.cfg
+	if !reflect.DeepEqual(cfg.Schemes, []string{"ca", "rcu", "hp"}) {
+		t.Errorf("schemes = %v", cfg.Schemes)
+	}
+	if !reflect.DeepEqual(cfg.Threads, []int{2, 8}) || !reflect.DeepEqual(cfg.Updates, []int{50}) {
+		t.Errorf("threads/updates = %v/%v", cfg.Threads, cfg.Updates)
+	}
+	if cfg.Workers != 3 || cfg.Trials != 4 {
+		t.Errorf("workers/trials = %d/%d", cfg.Workers, cfg.Trials)
+	}
+	if opt.csvPath != "out.csv" || !opt.verbose || !cfg.RecordLatency {
+		t.Errorf("csv/verbose/lat not parsed: %+v", opt)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-threads", "1,zap"},
+		{"-updates", "ten"},
+		{"-ops", "many"},
+		{"-nosuchflag"},
+	} {
+		if _, err := parseArgs(args, io.Discard); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

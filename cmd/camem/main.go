@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -28,30 +29,35 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "RNG seed")
 		check   = flag.Bool("check", false, "enable safety assertions")
 		csvPath = flag.String("csv", "", "also write CSV to this file")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel scheme workers (1: sequential)")
 	)
 	flag.Parse()
 
 	names := []string{}
-	series := map[string]map[int]uint64{}
-	allOps := map[int]bool{}
 	for _, scheme := range strings.Split(*schemes, ",") {
-		scheme = strings.TrimSpace(scheme)
-		if scheme == "" {
-			continue
+		if scheme = strings.TrimSpace(scheme); scheme != "" {
+			names = append(names, scheme)
 		}
-		res, err := bench.Run(bench.Workload{
+	}
+	ws := make([]bench.Workload, len(names))
+	for i, scheme := range names {
+		ws[i] = bench.Workload{
 			DS: "list", Scheme: scheme,
 			Threads: *threads, KeyRange: *keys, UpdatePct: 100,
 			OpsPerThread: *ops, Seed: *seed, Check: *check,
 			FootprintEvery: *every,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "camem:", err)
-			os.Exit(1)
 		}
-		names = append(names, scheme)
+	}
+	results, err := bench.RunMany(ws, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "camem:", err)
+		os.Exit(1)
+	}
+	series := map[string]map[int]uint64{}
+	allOps := map[int]bool{}
+	for i, scheme := range names {
 		series[scheme] = map[int]uint64{}
-		for _, s := range res.Footprint {
+		for _, s := range results[i].Footprint {
 			series[scheme][s.AfterOps] = s.Live
 			allOps[s.AfterOps] = true
 		}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,12 +31,13 @@ var allSchemes = []string{"none", "ca", "ibr", "rcu", "qsbr", "hp", "he"}
 
 func main() {
 	var (
-		out    = flag.String("out", "results", "output directory for CSV files")
-		fig    = flag.String("fig", "all", "which figure: all, fig1list, fig1bst, fig2hash, fig2stack, fig3mem, assoc, tuning")
-		quick  = flag.Bool("quick", false, "reduced scale: fewer threads/ops/trials")
-		check  = flag.Bool("check", false, "enable safety assertions (slower)")
-		seed   = flag.Uint64("seed", 1, "base seed")
-		ntrial = flag.Int("trials", 0, "override trials per point (0: 3 full / 1 quick)")
+		out     = flag.String("out", "results", "output directory for CSV files")
+		fig     = flag.String("fig", "all", "which figure: all, fig1list, fig1bst, fig2hash, fig2stack, fig3mem, assoc, tuning")
+		quick   = flag.Bool("quick", false, "reduced scale: fewer threads/ops/trials")
+		check   = flag.Bool("check", false, "enable safety assertions (slower)")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		ntrial  = flag.Int("trials", 0, "override trials per point (0: 3 full / 1 quick)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (1: sequential)")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -53,7 +55,7 @@ func main() {
 		trials = *ntrial
 	}
 
-	g := generator{out: *out, check: *check, seed: *seed, threads: threads, ops: ops, trials: trials, memOps: memOps}
+	g := generator{out: *out, check: *check, seed: *seed, threads: threads, ops: ops, trials: trials, memOps: memOps, workers: *workers}
 	jobs := map[string]func() error{
 		"fig1list":  g.fig1list,
 		"fig1bst":   g.fig1bst,
@@ -88,6 +90,7 @@ type generator struct {
 	ops     int
 	trials  int
 	memOps  int
+	workers int
 }
 
 func (g generator) sweepFig(name, ds string, keyRange uint64) error {
@@ -95,6 +98,7 @@ func (g generator) sweepFig(name, ds string, keyRange uint64) error {
 		DS: ds, Schemes: allSchemes, Threads: g.threads,
 		Updates: []int{0, 10, 100}, KeyRange: keyRange,
 		Ops: g.ops, Buckets: 128, Seed: g.seed, Check: g.check, Trials: g.trials,
+		Workers: g.workers,
 	}
 	points, err := bench.Sweep(cfg, nil)
 	if err != nil {
@@ -123,16 +127,21 @@ func (g generator) fig3mem() error {
 	}
 	defer f.Close()
 	fmt.Fprintln(f, "scheme,ops,live_nodes")
-	for _, scheme := range allSchemes {
-		res, err := bench.Run(bench.Workload{
+	ws := make([]bench.Workload, len(allSchemes))
+	for i, scheme := range allSchemes {
+		ws[i] = bench.Workload{
 			DS: "list", Scheme: scheme,
 			Threads: 16, KeyRange: 1000, UpdatePct: 100,
 			OpsPerThread: g.memOps, Seed: g.seed, Check: g.check,
 			FootprintEvery: 1000,
-		})
-		if err != nil {
-			return err
 		}
+	}
+	results, err := bench.RunMany(ws, g.workers)
+	if err != nil {
+		return err
+	}
+	for i, scheme := range allSchemes {
+		res := results[i]
 		last := res.Footprint[len(res.Footprint)-1]
 		fmt.Printf("%-5s: final live %5d after %d ops (peak %d)\n",
 			scheme, last.Live, last.AfterOps, res.Mem.PeakLive)
@@ -209,6 +218,7 @@ func (g generator) hmlist() error {
 		DS: "hmlist", Schemes: allSchemes, Threads: g.threads,
 		Updates: []int{0, 100}, KeyRange: 1000,
 		Ops: g.ops, Seed: g.seed, Check: g.check, Trials: g.trials,
+		Workers: g.workers,
 	}
 	points, err := bench.Sweep(cfg, nil)
 	if err != nil {

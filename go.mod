@@ -1,0 +1,3 @@
+module condaccess
+
+go 1.24

@@ -1,0 +1,130 @@
+// Parallel sweep execution. A sweep is a cross product of fully independent,
+// fully deterministic simulated trials (each bench.Run builds its own
+// sim.Machine, heap, and caches, and the simulator's schedule depends only on
+// seeds), so trials can fan out across real OS threads freely. The scheduler
+// here expands a SweepConfig into a flat job list — one job per (point,
+// trial) — hands jobs to a GOMAXPROCS-bounded worker pool, and merges results
+// back in sweep order, so the returned points, the report callback sequence,
+// and any error are byte-identical to the sequential path.
+
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// poolWorkers clamps a requested worker count to [1, GOMAXPROCS] and to the
+// number of jobs available.
+func poolWorkers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = 1
+	}
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	if w > jobs {
+		w = jobs
+	}
+	return w
+}
+
+// startPool launches workers goroutines that claim job indices [0, n) from a
+// shared counter and run them. If abort is non-nil, workers stop claiming new
+// jobs once it is set. The returned function blocks until all workers exit.
+func startPool(n, workers int, abort *atomic.Bool, run func(i int)) (wait func()) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || (abort != nil && abort.Load()) {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	return wg.Wait
+}
+
+// sweepParallel executes an expanded sweep on a worker pool. Results land in
+// per-point slots indexed by (point, trial); the main goroutine walks points
+// in sweep order, blocking on each point's completion, so merged points and
+// progress reports stream in exactly the sequential order while later points
+// are still being measured. On the first failed point (trials checked in
+// trial order, matching the sequential loop's first-error semantics) the pool
+// is aborted and the same wrapped error is returned.
+func sweepParallel(cfg SweepConfig, specs []pointSpec, report func(SweepPoint)) ([]SweepPoint, error) {
+	type job struct{ point, trial int }
+	jobs := make([]job, 0, len(specs)*cfg.Trials)
+	for p := range specs {
+		for t := 0; t < cfg.Trials; t++ {
+			jobs = append(jobs, job{p, t})
+		}
+	}
+	results := make([][]Result, len(specs))
+	errs := make([][]error, len(specs))
+	remaining := make([]atomic.Int32, len(specs))
+	done := make([]chan struct{}, len(specs))
+	for i := range specs {
+		results[i] = make([]Result, cfg.Trials)
+		errs[i] = make([]error, cfg.Trials)
+		remaining[i].Store(int32(cfg.Trials))
+		done[i] = make(chan struct{})
+	}
+
+	var abort atomic.Bool
+	wait := startPool(len(jobs), poolWorkers(cfg.Workers, len(jobs)), &abort, func(i int) {
+		j := jobs[i]
+		results[j.point][j.trial], errs[j.point][j.trial] = Run(trialWorkload(cfg, specs[j.point], j.trial))
+		if remaining[j.point].Add(-1) == 0 {
+			close(done[j.point])
+		}
+	})
+	defer wait()
+
+	var points []SweepPoint
+	for i, s := range specs {
+		<-done[i]
+		for trial := 0; trial < cfg.Trials; trial++ {
+			if err := errs[i][trial]; err != nil {
+				abort.Store(true)
+				return nil, pointError(cfg, s, err)
+			}
+		}
+		p := mergePoint(s, results[i])
+		points = append(points, p)
+		if report != nil {
+			report(p)
+		}
+	}
+	return points, nil
+}
+
+// RunMany executes independent workloads on a worker pool of at most workers
+// OS threads (clamped to GOMAXPROCS; <=1 runs sequentially) and returns their
+// results in input order. On failure it stops claiming further workloads and
+// returns the earliest-indexed error among those that ran.
+func RunMany(ws []Workload, workers int) ([]Result, error) {
+	results := make([]Result, len(ws))
+	errs := make([]error, len(ws))
+	var abort atomic.Bool
+	startPool(len(ws), poolWorkers(workers, len(ws)), &abort, func(i int) {
+		results[i], errs[i] = Run(ws[i])
+		if errs[i] != nil {
+			abort.Store(true)
+		}
+	})()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

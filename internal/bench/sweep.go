@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"condaccess/internal/cache"
 )
 
 // SweepConfig describes a cross-product experiment: one data structure, a
@@ -21,6 +23,16 @@ type SweepConfig struct {
 	Seed     uint64
 	Check    bool
 	Trials   int // >=1; throughput is averaged (paper: 3 trials)
+
+	// Workers bounds the OS-thread fan-out of trial execution. 1 (or 0)
+	// keeps the original sequential path; higher values run independent
+	// trials on a GOMAXPROCS-capped worker pool (pool.go). Either way the
+	// returned points, the report order, and any error are identical.
+	Workers int
+
+	// Cache overrides the simulated cache geometry for every trial; the
+	// zero value keeps the per-thread-count defaults.
+	Cache cache.Params
 
 	// Dist selects the key distribution (default uniform).
 	Dist string
@@ -39,46 +51,90 @@ type SweepPoint struct {
 	Result     Result  // last trial's full result
 }
 
+// pointSpec is one cell of the sweep cross product.
+type pointSpec struct {
+	Scheme    string
+	Threads   int
+	UpdatePct int
+}
+
+// expand flattens the cross product in the canonical sweep order — update
+// rate outermost, then scheme, then thread count — the order the sequential
+// loop has always used and the order parallel results are merged back into.
+func expand(cfg SweepConfig) []pointSpec {
+	specs := make([]pointSpec, 0, len(cfg.Updates)*len(cfg.Schemes)*len(cfg.Threads))
+	for _, u := range cfg.Updates {
+		for _, scheme := range cfg.Schemes {
+			for _, th := range cfg.Threads {
+				specs = append(specs, pointSpec{Scheme: scheme, Threads: th, UpdatePct: u})
+			}
+		}
+	}
+	return specs
+}
+
+// trialWorkload builds one trial of one point. Both execution paths
+// construct trials here, so a trial's seed — and therefore its simulated
+// result — cannot depend on which path or worker runs it.
+func trialWorkload(cfg SweepConfig, s pointSpec, trial int) Workload {
+	return Workload{
+		DS: cfg.DS, Scheme: s.Scheme,
+		Threads: s.Threads, KeyRange: cfg.KeyRange, UpdatePct: s.UpdatePct,
+		OpsPerThread: cfg.Ops, Buckets: cfg.Buckets,
+		Seed:          cfg.Seed + uint64(trial)*1000003,
+		Check:         cfg.Check,
+		Cache:         cfg.Cache,
+		Dist:          cfg.Dist,
+		RecordLatency: cfg.RecordLatency,
+	}
+}
+
+// mergePoint folds a point's trial results (in trial order, so float
+// summation order is fixed) into its SweepPoint.
+func mergePoint(s pointSpec, trials []Result) SweepPoint {
+	var sum float64
+	for _, r := range trials {
+		sum += r.Throughput
+	}
+	last := trials[len(trials)-1]
+	return SweepPoint{
+		Scheme: s.Scheme, Threads: s.Threads, UpdatePct: s.UpdatePct,
+		Throughput: sum / float64(len(trials)),
+		Retries:    last.Retries,
+		LiveNodes:  last.Mem.NodeLive(),
+		Result:     last,
+	}
+}
+
+// pointError wraps a trial failure with its sweep coordinates.
+func pointError(cfg SweepConfig, s pointSpec, err error) error {
+	return fmt.Errorf("sweep %s/%s t=%d u=%d: %w", cfg.DS, s.Scheme, s.Threads, s.UpdatePct, err)
+}
+
 // Sweep runs the full cross product. report (may be nil) is called after
-// each point, for progress output.
+// each point, always in sweep order.
 func Sweep(cfg SweepConfig, report func(SweepPoint)) ([]SweepPoint, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 1
 	}
+	specs := expand(cfg)
+	if cfg.Workers > 1 {
+		return sweepParallel(cfg, specs, report)
+	}
 	var points []SweepPoint
-	for _, u := range cfg.Updates {
-		for _, scheme := range cfg.Schemes {
-			for _, th := range cfg.Threads {
-				var sum float64
-				var last Result
-				for trial := 0; trial < cfg.Trials; trial++ {
-					res, err := Run(Workload{
-						DS: cfg.DS, Scheme: scheme,
-						Threads: th, KeyRange: cfg.KeyRange, UpdatePct: u,
-						OpsPerThread: cfg.Ops, Buckets: cfg.Buckets,
-						Seed:          cfg.Seed + uint64(trial)*1000003,
-						Check:         cfg.Check,
-						Dist:          cfg.Dist,
-						RecordLatency: cfg.RecordLatency,
-					})
-					if err != nil {
-						return nil, fmt.Errorf("sweep %s/%s t=%d u=%d: %w", cfg.DS, scheme, th, u, err)
-					}
-					sum += res.Throughput
-					last = res
-				}
-				p := SweepPoint{
-					Scheme: scheme, Threads: th, UpdatePct: u,
-					Throughput: sum / float64(cfg.Trials),
-					Retries:    last.Retries,
-					LiveNodes:  last.Mem.NodeLive(),
-					Result:     last,
-				}
-				points = append(points, p)
-				if report != nil {
-					report(p)
-				}
+	for _, s := range specs {
+		trials := make([]Result, cfg.Trials)
+		for trial := range trials {
+			res, err := Run(trialWorkload(cfg, s, trial))
+			if err != nil {
+				return nil, pointError(cfg, s, err)
 			}
+			trials[trial] = res
+		}
+		p := mergePoint(s, trials)
+		points = append(points, p)
+		if report != nil {
+			report(p)
 		}
 	}
 	return points, nil

@@ -394,63 +394,68 @@ place:
 
 // CheckInvariants validates directory/L1 consistency: at most one Modified
 // copy per line, directory sharer sets exactly matching L1 contents, and
-// inclusivity. Property tests call it after random access sequences.
+// inclusivity. Property tests call it after random access sequences, and
+// checked simulation runs lean on it, so it works directly off the indexed
+// cache arrays (set-indexed l1.find/l2.find probes) rather than building a
+// per-call map of holders: no allocation, and cost proportional to resident
+// lines plus actual sharing.
 func (h *Hierarchy) CheckInvariants() error {
-	// Gather actual L1 contents.
-	type holder struct {
-		sharers uint64
-		owner   int8
-	}
-	actual := make(map[uint64]holder)
+	// Every valid L1 line must be in the inclusive L2, its directory sharer
+	// bit must be set, and a Modified copy must be the directory owner.
 	for c := range h.l1 {
 		for _, set := range h.l1[c].sets {
 			for _, w := range set {
 				if w.state == Invalid {
 					continue
 				}
-				hd := actual[w.line]
-				if hd.sharers == 0 {
-					hd.owner = -1
+				w2 := h.l2.find(w.line)
+				if w2 == nil {
+					return fmt.Errorf("line %#x in an L1 but not in inclusive L2", w.line)
 				}
-				hd.sharers |= 1 << uint(c)
-				if w.state == Modified {
-					if hd.owner >= 0 {
-						return fmt.Errorf("line %#x Modified in cores %d and %d", w.line, hd.owner, c)
-					}
-					hd.owner = int8(c)
+				if w2.sharers&(1<<uint(c)) == 0 {
+					return fmt.Errorf("line %#x held by core %d but directory sharers %b lack it", w.line, c, w2.sharers)
 				}
-				actual[w.line] = hd
+				if w.state == Modified && int(w2.owner) != c {
+					return fmt.Errorf("line %#x Modified in core %d but directory owner is %d", w.line, c, w2.owner)
+				}
 			}
 		}
 	}
-	for line, hd := range actual {
-		w2 := h.l2.find(line)
-		if w2 == nil {
-			return fmt.Errorf("line %#x in an L1 but not in inclusive L2", line)
-		}
-		if w2.sharers != hd.sharers {
-			return fmt.Errorf("line %#x directory sharers %b != actual %b", line, w2.sharers, hd.sharers)
-		}
-		if w2.owner != hd.owner {
-			return fmt.Errorf("line %#x directory owner %d != actual %d", line, w2.owner, hd.owner)
-		}
-		if hd.owner >= 0 && hd.sharers != 1<<uint(hd.owner) {
-			return fmt.Errorf("line %#x Modified at %d but shared by %b", line, hd.owner, hd.sharers)
-		}
-	}
-	// Directory must not claim sharers that do not exist.
+	// Every directory entry's claimed sharers must actually hold the line,
+	// with exactly the directory's owner (if any) Modified and owning alone.
+	// Combined with the pass above (no L1 copy outside the sharer set), the
+	// claimed set equals the actual set.
 	for _, set := range h.l2.sets {
 		for i := range set {
 			w2 := &set[i]
-			if !w2.valid || w2.sharers == 0 {
+			if !w2.valid {
 				continue
 			}
-			hd, ok := actual[w2.line]
-			if !ok {
-				return fmt.Errorf("directory claims sharers %b for line %#x held by no L1", w2.sharers, w2.line)
+			owner := int8(-1)
+			for c, m := 0, w2.sharers; m != 0; c++ {
+				if c >= len(h.l1) {
+					return fmt.Errorf("line %#x directory sharers %b name nonexistent cores", w2.line, w2.sharers)
+				}
+				if m&(1<<uint(c)) == 0 {
+					continue
+				}
+				m &^= 1 << uint(c)
+				w := h.l1[c].find(w2.line)
+				if w == nil {
+					return fmt.Errorf("directory claims sharer %d for line %#x held by no such L1", c, w2.line)
+				}
+				if w.state == Modified {
+					if owner >= 0 {
+						return fmt.Errorf("line %#x Modified in cores %d and %d", w2.line, owner, c)
+					}
+					owner = int8(c)
+				}
 			}
-			if hd.sharers != w2.sharers {
-				return fmt.Errorf("line %#x directory sharers %b != actual %b", w2.line, w2.sharers, hd.sharers)
+			if w2.owner != owner {
+				return fmt.Errorf("line %#x directory owner %d != actual %d", w2.line, w2.owner, owner)
+			}
+			if owner >= 0 && w2.sharers != 1<<uint(owner) {
+				return fmt.Errorf("line %#x Modified at %d but shared by %b", w2.line, owner, w2.sharers)
 			}
 		}
 	}

@@ -7,6 +7,7 @@
 package ds_test
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -124,6 +125,70 @@ func TestSequentialOracle(t *testing.T) {
 			}
 			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCrossSchemeDifferential runs the same seeded workload under every
+// variant and requires the final structure contents to be identical across
+// reclamation schemes. The workload is single-threaded, so the operation
+// sequence — drawn from the machine-seeded RNG, which does not depend on the
+// scheme — fully determines the final key set; the scheme only decides when
+// unlinked nodes are freed. Any divergence (a key present under hp but
+// absent under ca, say) is a structure or reclamation bug, caught here
+// without an oracle: the implementations check each other.
+func TestCrossSchemeDifferential(t *testing.T) {
+	const keyRange, nOps = 40, 800
+	run := func(t *testing.T, v variant) [keyRange + 1]bool {
+		t.Helper()
+		m := sim.New(sim.Config{Cores: 1, Seed: 5, Check: true})
+		s, err := v.build(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var final [keyRange + 1]bool
+		m.Spawn(func(c *sim.Ctx) {
+			rng := c.Rand()
+			for j := 0; j < nOps; j++ {
+				key := rng.Uint64n(keyRange) + 1
+				switch rng.Intn(3) {
+				case 0:
+					s.Insert(c, key)
+				case 1:
+					s.Delete(c, key)
+				default:
+					s.Contains(c, key)
+				}
+			}
+			for k := uint64(1); k <= keyRange; k++ {
+				final[k] = s.Contains(c, k)
+			}
+		})
+		m.Run()
+		return final
+	}
+	// Group variants by structure; the CA variant of each structure is the
+	// reference the guarded schemes must match.
+	byDS := map[string][]variant{}
+	for _, v := range variants() {
+		ds := v.name[:strings.Index(v.name, "/")]
+		byDS[ds] = append(byDS[ds], v)
+	}
+	for ds, vs := range byDS {
+		vs := vs
+		t.Run(ds, func(t *testing.T) {
+			if len(vs) < 2 {
+				t.Fatalf("%s: only %d variants, differential test needs >= 2", ds, len(vs))
+			}
+			ref := run(t, vs[0])
+			for _, v := range vs[1:] {
+				got := run(t, v)
+				for k := uint64(1); k <= keyRange; k++ {
+					if got[k] != ref[k] {
+						t.Errorf("%s vs %s: key %d present=%v vs %v", v.name, vs[0].name, k, got[k], ref[k])
+					}
+				}
 			}
 		})
 	}
