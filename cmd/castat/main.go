@@ -10,40 +10,87 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"condaccess/internal/bench"
 )
 
-func main() {
-	var (
-		ds      = flag.String("ds", "list", "data structure: list, hmlist, bst, hash, stack, queue")
-		schemes = flag.String("schemes", "none,ca,ibr,rcu,qsbr,hp,he", "comma-separated schemes")
-		threads = flag.Int("threads", 16, "threads")
-		updates = flag.Int("updates", 100, "update percentage")
-		ops     = flag.Int("ops", 2000, "operations per thread")
-		keys    = flag.Uint64("range", 1000, "key range")
-		dist    = flag.String("dist", "uniform", "key distribution: uniform or zipf")
-		seed    = flag.Uint64("seed", 1, "RNG seed")
-	)
-	flag.Parse()
+// options is the parsed command line: the workload template (Scheme is
+// filled per run) and the scheme list to iterate.
+type options struct {
+	w       bench.Workload
+	schemes []string
+}
 
-	fmt.Printf("%s, %d threads, %d%% updates, %d keys (%s), %d ops/thread\n\n",
-		*ds, *threads, *updates, *keys, *dist, *ops)
+// reportedError marks an error the flag package has already printed to
+// stderr (with usage), so main must not print it a second time.
+type reportedError struct{ err error }
+
+func (e reportedError) Error() string { return e.err.Error() }
+func (e reportedError) Unwrap() error { return e.err }
+
+// parseArgs parses the flag set into a workload template plus scheme list.
+// Split out of main for testability (same pattern as cmd/cabench).
+func parseArgs(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("castat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		ds      = fs.String("ds", "list", "data structure: list, hmlist, bst, hash, stack, queue")
+		schemes = fs.String("schemes", "none,ca,ibr,rcu,qsbr,hp,he", "comma-separated schemes")
+		threads = fs.Int("threads", 16, "threads")
+		updates = fs.Int("updates", 100, "update percentage")
+		ops     = fs.Int("ops", 2000, "operations per thread")
+		keys    = fs.Uint64("range", 1000, "key range")
+		dist    = fs.String("dist", "uniform", "key distribution: uniform or zipf")
+		seed    = fs.Uint64("seed", 1, "RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return options{}, reportedError{err}
+	}
+	var schemeList []string
 	for _, scheme := range strings.Split(*schemes, ",") {
-		scheme = strings.TrimSpace(scheme)
-		if scheme == "" {
-			continue
+		if scheme = strings.TrimSpace(scheme); scheme != "" {
+			schemeList = append(schemeList, scheme)
 		}
-		res, err := bench.Run(bench.Workload{
-			DS: *ds, Scheme: scheme,
+	}
+	if len(schemeList) == 0 {
+		return options{}, errors.New("-schemes: no schemes given")
+	}
+	return options{
+		w: bench.Workload{
+			DS:      *ds,
 			Threads: *threads, KeyRange: *keys, UpdatePct: *updates,
 			OpsPerThread: *ops, Seed: *seed, Dist: *dist,
 			RecordLatency: true,
-		})
+		},
+		schemes: schemeList,
+	}, nil
+}
+
+func main() {
+	opt, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		var rep reportedError
+		if !errors.As(err, &rep) {
+			fmt.Fprintln(os.Stderr, "castat:", err)
+		}
+		os.Exit(2)
+	}
+	w := opt.w
+	fmt.Printf("%s, %d threads, %d%% updates, %d keys (%s), %d ops/thread\n\n",
+		w.DS, w.Threads, w.UpdatePct, w.KeyRange, w.Dist, w.OpsPerThread)
+	var runner bench.Runner
+	for _, scheme := range opt.schemes {
+		w.Scheme = scheme
+		res, err := runner.Run(w)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "castat:", err)
 			os.Exit(1)

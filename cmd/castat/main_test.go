@@ -1,0 +1,76 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	opt, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := opt.w
+	if w.DS != "list" || w.Threads != 16 || w.UpdatePct != 100 || w.KeyRange != 1000 ||
+		w.OpsPerThread != 2000 || w.Seed != 1 || w.Dist != "uniform" {
+		t.Errorf("unexpected defaults: %+v", w)
+	}
+	if !w.RecordLatency {
+		t.Error("castat must always record latency percentiles")
+	}
+	want := []string{"none", "ca", "ibr", "rcu", "qsbr", "hp", "he"}
+	if !reflect.DeepEqual(opt.schemes, want) {
+		t.Errorf("schemes = %v, want %v", opt.schemes, want)
+	}
+}
+
+func TestParseArgsOverrides(t *testing.T) {
+	opt, err := parseArgs([]string{
+		"-ds", "bst", "-schemes", " ca , rcu ,", "-threads", "8",
+		"-updates", "10", "-ops", "500", "-range", "10000",
+		"-dist", "zipf", "-seed", "7",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := opt.w
+	if w.DS != "bst" || w.Threads != 8 || w.UpdatePct != 10 || w.KeyRange != 10000 ||
+		w.OpsPerThread != 500 || w.Seed != 7 || w.Dist != "zipf" {
+		t.Errorf("overrides not applied: %+v", w)
+	}
+	if !reflect.DeepEqual(opt.schemes, []string{"ca", "rcu"}) {
+		t.Errorf("schemes = %v (whitespace and empties should be dropped)", opt.schemes)
+	}
+}
+
+func TestParseArgsEmptySchemes(t *testing.T) {
+	if _, err := parseArgs([]string{"-schemes", " , "}, io.Discard); err == nil {
+		t.Fatal("empty scheme list accepted")
+	}
+}
+
+func TestParseArgsBadFlagIsReported(t *testing.T) {
+	var buf strings.Builder
+	_, err := parseArgs([]string{"-threads", "x"}, &buf)
+	if err == nil {
+		t.Fatal("bad -threads accepted")
+	}
+	var rep reportedError
+	if !errors.As(err, &rep) {
+		t.Errorf("flag-package error not marked reported: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("flag package printed nothing to stderr")
+	}
+}
+
+func TestParseArgsHelp(t *testing.T) {
+	_, err := parseArgs([]string{"-h"}, io.Discard)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}

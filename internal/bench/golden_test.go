@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden-checksum suite pins the simulator's observable output. Each
+// canonical workload's full Result — throughput, cycle count, cache/CA/SMR
+// stats, memory accounting, footprint series, latency percentiles — is
+// fingerprinted and compared against testdata/golden.json, which was
+// generated with the pre-handoff execution engine (PR 2). Any change to
+// scheduling order, cache bookkeeping, or allocator behaviour shows up here
+// as a checksum mismatch, so refactors of the execution core can prove they
+// are bit-for-bit output-preserving. Regenerate deliberately with:
+//
+//	go test ./internal/bench -run TestGoldenResults -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json from the current engine")
+
+// goldenSchemes spans the three reclamation families: conditional access,
+// pointer-reservation (hp), and epoch/quiescence batching (rcu).
+var goldenSchemes = []string{"ca", "hp", "rcu"}
+
+// goldenWorkload is the canonical small trial for one structure/scheme cell:
+// big enough to exercise prefill, contention, reclamation, and eviction, and
+// small enough that the whole matrix runs in well under a second.
+func goldenWorkload(ds, scheme string) Workload {
+	return Workload{
+		DS: ds, Scheme: scheme,
+		Threads: 4, KeyRange: 400, UpdatePct: 50,
+		OpsPerThread: 250, Buckets: 32,
+		Seed:           42,
+		FootprintEvery: 100,
+		RecordLatency:  true,
+	}
+}
+
+// goldenSum fingerprints every field of a Result (including the embedded
+// workload, so a drifting default would also be caught).
+func goldenSum(res Result) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", res)
+	return h.Sum64()
+}
+
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("testdata", "golden.json")
+}
+
+func TestGoldenResults(t *testing.T) {
+	sums := map[string]string{}
+	for _, ds := range Structures() {
+		for _, scheme := range goldenSchemes {
+			res, err := Run(goldenWorkload(ds, scheme))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", ds, scheme, err)
+			}
+			sums[ds+"/"+scheme] = fmt.Sprintf("%016x", goldenSum(res))
+		}
+	}
+
+	path := goldenPath(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(sums, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden sums to %s", len(sums), path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update-golden to create): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(sums) {
+		t.Errorf("golden file has %d entries, matrix has %d", len(want), len(sums))
+	}
+	for key, sum := range sums {
+		if want[key] == "" {
+			t.Errorf("%s: no golden entry", key)
+			continue
+		}
+		if sum != want[key] {
+			t.Errorf("%s: result checksum %s != golden %s — engine output changed", key, sum, want[key])
+		}
+	}
+}
+
+// TestGoldenSumDiscriminates guards the fingerprint itself: materially
+// different workloads must not collide, and the same workload must reproduce
+// exactly.
+func TestGoldenSumDiscriminates(t *testing.T) {
+	a, err := Run(goldenWorkload("list", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(goldenWorkload("list", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goldenSum(a) != goldenSum(b) {
+		t.Fatal("identical workloads produced different checksums")
+	}
+	w := goldenWorkload("list", "ca")
+	w.Seed++
+	c, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goldenSum(a) == goldenSum(c) {
+		t.Fatal("different seeds collided; checksum is not discriminating")
+	}
+}

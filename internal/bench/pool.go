@@ -32,23 +32,25 @@ func poolWorkers(requested, jobs int) int {
 }
 
 // startPool launches workers goroutines that claim job indices [0, n) from a
-// shared counter and run them. If abort is non-nil, workers stop claiming new
-// jobs once it is set. The returned function blocks until all workers exit.
-func startPool(n, workers int, abort *atomic.Bool, run func(i int)) (wait func()) {
+// shared counter and run them. run receives the worker's index alongside the
+// job's, so each worker can keep private reusable state (its Runner). If
+// abort is non-nil, workers stop claiming new jobs once it is set. The
+// returned function blocks until all workers exit.
+func startPool(n, workers int, abort *atomic.Bool, run func(worker, i int)) (wait func()) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n || (abort != nil && abort.Load()) {
 					return
 				}
-				run(i)
+				run(worker, i)
 			}
-		}()
+		}(w)
 	}
 	return wg.Wait
 }
@@ -80,9 +82,11 @@ func sweepParallel(cfg SweepConfig, specs []pointSpec, report func(SweepPoint)) 
 	}
 
 	var abort atomic.Bool
-	wait := startPool(len(jobs), poolWorkers(cfg.Workers, len(jobs)), &abort, func(i int) {
+	workers := poolWorkers(cfg.Workers, len(jobs))
+	runners := make([]Runner, workers) // one reusable machine set per worker
+	wait := startPool(len(jobs), workers, &abort, func(worker, i int) {
 		j := jobs[i]
-		results[j.point][j.trial], errs[j.point][j.trial] = Run(trialWorkload(cfg, specs[j.point], j.trial))
+		results[j.point][j.trial], errs[j.point][j.trial] = runners[worker].Run(trialWorkload(cfg, specs[j.point], j.trial))
 		if remaining[j.point].Add(-1) == 0 {
 			close(done[j.point])
 		}
@@ -115,8 +119,10 @@ func RunMany(ws []Workload, workers int) ([]Result, error) {
 	results := make([]Result, len(ws))
 	errs := make([]error, len(ws))
 	var abort atomic.Bool
-	startPool(len(ws), poolWorkers(workers, len(ws)), &abort, func(i int) {
-		results[i], errs[i] = Run(ws[i])
+	nw := poolWorkers(workers, len(ws))
+	runners := make([]Runner, nw)
+	startPool(len(ws), nw, &abort, func(worker, i int) {
+		results[i], errs[i] = runners[worker].Run(ws[i])
 		if errs[i] != nil {
 			abort.Store(true)
 		}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRunnerReuseBitIdentical proves the machine-reuse path: a Runner that
+// has already executed trials (so its machine's heap, caches, and extension
+// are warm and then reset) must produce results byte-identical to fresh
+// machines, across scheme changes, seed changes, and repeated geometries.
+func TestRunnerReuseBitIdentical(t *testing.T) {
+	ws := []Workload{
+		goldenWorkload("list", "ca"),
+		goldenWorkload("list", "hp"),   // same geometry, different scheme
+		goldenWorkload("bst", "ca"),    // different structure, same geometry
+		goldenWorkload("list", "ca"),   // exact repeat after reuse
+		goldenWorkload("hash", "rcu"),  // map-keyed machine reuse again
+		goldenWorkload("stack", "hp"),  // reservation scheme on reused heap
+		goldenWorkload("queue", "rcu"), // and once more
+	}
+	ws[1].Seed += 7
+
+	var r Runner
+	for i, w := range ws {
+		reused, err := r.Run(w)
+		if err != nil {
+			t.Fatalf("reused run %d: %v", i, err)
+		}
+		fresh, err := Run(w)
+		if err != nil {
+			t.Fatalf("fresh run %d: %v", i, err)
+		}
+		if fmt.Sprintf("%+v", reused) != fmt.Sprintf("%+v", fresh) {
+			t.Errorf("run %d (%s/%s): reused machine diverged from fresh machine", i, w.DS, w.Scheme)
+		}
+	}
+}
+
+// TestRunnerReuseDifferentGeometries checks that a Runner keeps distinct
+// machines per geometry rather than resetting across incompatible configs.
+func TestRunnerReuseDifferentGeometries(t *testing.T) {
+	var r Runner
+	for _, threads := range []int{2, 4, 2, 4} {
+		w := goldenWorkload("list", "ca")
+		w.Threads = threads
+		reused, err := r.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", reused) != fmt.Sprintf("%+v", fresh) {
+			t.Errorf("threads=%d: reused machine diverged from fresh machine", threads)
+		}
+	}
+}

@@ -8,10 +8,23 @@ import (
 	"condaccess/internal/sim"
 )
 
+// Runner executes trials on reusable simulated machines. Building a machine
+// allocates the simulated heap, both cache levels, and the extension state;
+// a Runner keeps one machine per distinct geometry (thread count × cache
+// params) and rewinds it with sim.Machine.Reset between trials instead of
+// rebuilding, so a sweep's dominant allocation cost is paid once per
+// geometry rather than once per trial. A reset machine is bit-for-bit
+// equivalent to a fresh one, so results are identical either way. A Runner
+// is not safe for concurrent use; parallel sweeps give each worker its own.
+type Runner struct {
+	machines map[cache.Params]*sim.Machine
+}
+
 // Run executes one trial: build, prefill to 50%, reset clocks, run the
 // measured mixed workload, and collect every statistic the experiments
-// report.
-func Run(w Workload) (Result, error) {
+// report. It is equivalent to the package-level Run but may reuse a machine
+// from an earlier trial with the same geometry.
+func (r *Runner) Run(w Workload) (Result, error) {
 	if err := validate(&w); err != nil {
 		return Result{}, err
 	}
@@ -25,9 +38,12 @@ func Run(w Workload) (Result, error) {
 		if w.Cache.Cores != w.Threads {
 			return Result{}, fmt.Errorf("bench: cache params cores %d != threads %d", w.Cache.Cores, w.Threads)
 		}
+		if err := w.Cache.Check(); err != nil {
+			return Result{}, err
+		}
 		cfg.Cache = w.Cache
 	}
-	m := sim.New(cfg)
+	m := r.acquire(cfg)
 	b, err := build(m, w)
 	if err != nil {
 		return Result{}, err
@@ -97,6 +113,42 @@ func Run(w Workload) (Result, error) {
 	}
 	res.Mem = m.Space.Stats()
 	return res, nil
+}
+
+// maxRunnerMachines bounds how many fully-built machines one Runner keeps.
+// A machine's simulated heap grows to its largest trial's footprint, and a
+// wide sweep can cross many geometries (one per thread count), so an
+// unbounded cache would multiply peak memory by workers × geometries.
+const maxRunnerMachines = 4
+
+// acquire returns a machine for cfg, resetting a cached one when its
+// geometry matches and building (and caching) a fresh one otherwise. When
+// the cache would exceed maxRunnerMachines it is dropped wholesale — crude
+// but deterministic, and sweeps revisit geometries often enough that the
+// amortization survives.
+func (r *Runner) acquire(cfg sim.Config) *sim.Machine {
+	key := cfg.Cache
+	if key.Cores == 0 {
+		key = cache.DefaultParams(cfg.Cores)
+	}
+	if m := r.machines[key]; m != nil && m.Reset(cfg) {
+		return m
+	}
+	m := sim.New(cfg)
+	if r.machines == nil {
+		r.machines = make(map[cache.Params]*sim.Machine)
+	} else if len(r.machines) >= maxRunnerMachines {
+		clear(r.machines)
+	}
+	r.machines[key] = m
+	return m
+}
+
+// Run executes one trial on a fresh machine. Sweeps use a Runner to reuse
+// machines across trials; the results are identical.
+func Run(w Workload) (Result, error) {
+	var r Runner
+	return r.Run(w)
 }
 
 func validate(w *Workload) error {

@@ -122,10 +122,11 @@ func Sweep(cfg SweepConfig, report func(SweepPoint)) ([]SweepPoint, error) {
 		return sweepParallel(cfg, specs, report)
 	}
 	var points []SweepPoint
+	var runner Runner // reuses one machine per geometry across the sweep
 	for _, s := range specs {
 		trials := make([]Result, cfg.Trials)
 		for trial := range trials {
-			res, err := Run(trialWorkload(cfg, s, trial))
+			res, err := runner.Run(trialWorkload(cfg, s, trial))
 			if err != nil {
 				return nil, pointError(cfg, s, err)
 			}

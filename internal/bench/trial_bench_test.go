@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchTrialWorkload is the paper-default single trial for one structure ×
+// scheme cell: 8 threads, 100% updates, 3000 ops/thread, the per-structure
+// key ranges cabench defaults to. The bst/ca cell is the repo's headline
+// single-trial benchmark (BENCH_simcore.json tracks it).
+func benchTrialWorkload(ds, scheme string) Workload {
+	kr := uint64(1000)
+	if ds == "bst" {
+		kr = 10000
+	}
+	return Workload{
+		DS: ds, Scheme: scheme,
+		Threads: 8, KeyRange: kr, UpdatePct: 100,
+		OpsPerThread: 3000, Buckets: 128,
+		Seed: 1,
+	}
+}
+
+// BenchmarkTrial measures single-trial wall-clock time over the structure ×
+// scheme matrix. One iteration is one complete trial: machine construction
+// (or reuse), prefill to 50%, and the measured phase. ns/op is host time per
+// simulated trial — the quantity the execution-core refactors optimize.
+func BenchmarkTrial(b *testing.B) {
+	for _, ds := range Structures() {
+		for _, scheme := range []string{"ca", "rcu", "hp"} {
+			b.Run(fmt.Sprintf("%s/%s", ds, scheme), func(b *testing.B) {
+				w := benchTrialWorkload(ds, scheme)
+				var r Runner // machine reuse across iterations, as in a sweep
+				for i := 0; i < b.N; i++ {
+					if _, err := r.Run(w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

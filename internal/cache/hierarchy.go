@@ -2,7 +2,15 @@ package cache
 
 import "fmt"
 
-const lineBytes = 64
+const (
+	lineBytes = 64
+	lineShift = 6 // log2(lineBytes)
+
+	// invalidLine marks an empty way in the line-tag slabs. Line addresses
+	// are always 64-byte aligned, so no lookup can ever match it — find needs
+	// only a single compare per way, no validity check.
+	invalidLine = ^uint64(0)
+)
 
 // State is an MSI line state as seen by a private L1.
 type State uint8
@@ -49,29 +57,47 @@ type Stats struct {
 	BackInvals    uint64 // L1 copies dropped by inclusive-L2 evictions
 }
 
-type l1way struct {
-	line  uint64 // line base address; valid iff state != Invalid
-	state State
-	lru   uint64
-}
-
+// l1cache stores each per-way field as one contiguous slab — set s occupies
+// indices [s*assoc, (s+1)*assoc) — indexed by shifting and masking the
+// address. The slabs are struct-of-arrays: the tag probe on every access
+// scans only the lines slab (8 ways = exactly one host cache line at the
+// default associativity), touching lru/state solely on the way it hits.
 type l1cache struct {
-	sets    [][]l1way
+	lines []uint64 // line base addresses; invalidLine iff the way is empty
+	lru   []uint64
+	state []State
+	// l2way caches each resident line's way index in the shared L2. The L2
+	// is inclusive and never relocates a resident line (a fill only claims an
+	// empty or evicted way, and an L2 eviction back-invalidates every L1
+	// copy), so the index recorded at install time stays valid for the
+	// line's whole L1 residency — evictions and upgrades reach the directory
+	// without a second L2 set scan.
+	l2way []int32
+	// full counts the valid ways per set; installs consult it to skip the
+	// empty-way scan once a set is full (the steady state).
+	full    []uint16
 	setMask uint64
+	assoc   uint64
+	// mru is the slab index of the most recently found way — a pure lookup
+	// hint. Data-structure operations touch several words of one node line
+	// back to back, so checking it first skips most tag scans. It is always
+	// verified against the lines slab, so a stale hint costs one compare and
+	// can never change a lookup's result.
+	mru int
 }
 
-type l2way struct {
-	line    uint64
-	valid   bool
-	dirty   bool
-	sharers uint64 // bitmask of cores with an L1 copy
-	owner   int8   // core holding Modified, or -1
-	lru     uint64
-}
-
+// l2cache is laid out exactly like l1cache, with the directory state
+// (sharers, owner, dirty) in further parallel slabs. A way is valid iff its
+// line tag is not invalidLine.
 type l2cache struct {
-	sets    [][]l2way
+	lines   []uint64
+	lru     []uint64
+	sharers []uint64 // bitmask of cores with an L1 copy
+	owner   []int8   // core holding Modified, or -1
+	dirty   []bool
+	full    []uint16 // valid ways per set, as in l1cache
 	setMask uint64
+	assoc   uint64
 }
 
 // Hierarchy is the full simulated memory system: one private L1 per
@@ -85,8 +111,10 @@ type l2cache struct {
 // one hyperthread notifies its siblings (whose tags on the line must be
 // revoked even though the line stays resident — paper Section III).
 type Hierarchy struct {
-	p        Params
-	smt      int // hardware threads per L1
+	p      Params
+	smt    int     // hardware threads per L1
+	coreOf []int32 // hardware thread -> physical core; a divide here would
+	// sit on every simulated access
 	l1       []l1cache
 	l2       l2cache
 	listener Listener
@@ -94,29 +122,75 @@ type Hierarchy struct {
 	stats    Stats
 }
 
-// New builds a hierarchy for p. listener may be nil.
+// New builds a hierarchy for p. listener may be nil. Geometry is validated
+// (including power-of-two set counts) before anything is allocated.
 func New(p Params, listener Listener) *Hierarchy {
 	p.Validate()
 	h := &Hierarchy{p: p, smt: p.SMTWidth(), listener: listener}
-	l1Sets := p.L1Bytes / (p.L1Assoc * lineBytes)
+	h.coreOf = make([]int32, p.Cores)
+	for t := range h.coreOf {
+		h.coreOf[t] = int32(t / h.smt)
+	}
+	l1Ways := (p.L1Bytes / (p.L1Assoc * lineBytes)) * p.L1Assoc
 	h.l1 = make([]l1cache, p.L1Count())
 	for c := range h.l1 {
-		h.l1[c].sets = make([][]l1way, l1Sets)
-		for i := range h.l1[c].sets {
-			h.l1[c].sets[i] = make([]l1way, p.L1Assoc)
+		h.l1[c] = l1cache{
+			lines:   make([]uint64, l1Ways),
+			lru:     make([]uint64, l1Ways),
+			state:   make([]State, l1Ways),
+			l2way:   make([]int32, l1Ways),
+			full:    make([]uint16, l1Ways/p.L1Assoc),
+			setMask: uint64(p.L1Bytes/(p.L1Assoc*lineBytes) - 1),
+			assoc:   uint64(p.L1Assoc),
 		}
-		h.l1[c].setMask = uint64(l1Sets - 1)
+		h.l1[c].reset()
 	}
-	l2Sets := p.L2Bytes / (p.L2Assoc * lineBytes)
-	h.l2.sets = make([][]l2way, l2Sets)
-	for i := range h.l2.sets {
-		h.l2.sets[i] = make([]l2way, p.L2Assoc)
+	l2Ways := (p.L2Bytes / (p.L2Assoc * lineBytes)) * p.L2Assoc
+	h.l2 = l2cache{
+		lines:   make([]uint64, l2Ways),
+		lru:     make([]uint64, l2Ways),
+		sharers: make([]uint64, l2Ways),
+		owner:   make([]int8, l2Ways),
+		dirty:   make([]bool, l2Ways),
+		full:    make([]uint16, l2Ways/p.L2Assoc),
+		setMask: uint64(p.L2Bytes/(p.L2Assoc*lineBytes) - 1),
+		assoc:   uint64(p.L2Assoc),
 	}
-	h.l2.setMask = uint64(l2Sets - 1)
-	if l1Sets&(l1Sets-1) != 0 || l2Sets&(l2Sets-1) != 0 {
-		panic("cache: set counts must be powers of two")
-	}
+	h.l2.reset()
 	return h
+}
+
+func (c *l1cache) reset() {
+	for i := range c.lines {
+		c.lines[i] = invalidLine
+	}
+	clear(c.lru)
+	clear(c.state)
+	clear(c.full)
+	c.mru = 0
+}
+
+func (c *l2cache) reset() {
+	for i := range c.lines {
+		c.lines[i] = invalidLine
+	}
+	clear(c.lru)
+	clear(c.sharers)
+	clear(c.owner)
+	clear(c.dirty)
+	clear(c.full)
+}
+
+// Reset empties every cache and zeroes the statistics and the replacement
+// tick, returning the hierarchy to its post-New state without reallocating
+// the slabs.
+func (h *Hierarchy) Reset() {
+	for c := range h.l1 {
+		h.l1[c].reset()
+	}
+	h.l2.reset()
+	h.tick = 0
+	h.stats = Stats{}
 }
 
 // Params returns the configuration the hierarchy was built with.
@@ -125,39 +199,110 @@ func (h *Hierarchy) Params() Params { return h.p }
 // Stats returns a copy of the accumulated statistics.
 func (h *Hierarchy) Stats() Stats { return h.stats }
 
-func (c *l1cache) set(line uint64) []l1way {
-	return c.sets[(line/lineBytes)&c.setMask]
+// base returns the slab index of the first way of line's set.
+func (c *l1cache) base(line uint64) uint64 {
+	return ((line >> lineShift) & c.setMask) * c.assoc
 }
 
-func (c *l1cache) find(line uint64) *l1way {
-	set := c.set(line)
-	for i := range set {
-		if set[i].state != Invalid && set[i].line == line {
-			return &set[i]
+// min8 returns the index of the smallest of a's eight values, first index
+// winning ties (LRU ticks are unique in practice, but the tie-break matches
+// the sequential scan regardless). The tournament shape gives the CPU four
+// independent comparisons instead of a serial dependency chain.
+func min8(a *[8]uint64) int {
+	i01, v01 := 0, a[0]
+	if a[1] < v01 {
+		i01, v01 = 1, a[1]
+	}
+	i23, v23 := 2, a[2]
+	if a[3] < v23 {
+		i23, v23 = 3, a[3]
+	}
+	i45, v45 := 4, a[4]
+	if a[5] < v45 {
+		i45, v45 = 5, a[5]
+	}
+	i67, v67 := 6, a[6]
+	if a[7] < v67 {
+		i67, v67 = 7, a[7]
+	}
+	if v23 < v01 {
+		i01, v01 = i23, v23
+	}
+	if v67 < v45 {
+		i45, v45 = i67, v67
+	}
+	if v45 < v01 {
+		i01 = i45
+	}
+	return i01
+}
+
+// minLRU returns the offset within lru (length assoc) of the minimum value,
+// specialized for the common associativities.
+func minLRU(lru []uint64) int {
+	switch len(lru) {
+	case 8:
+		return min8((*[8]uint64)(lru))
+	case 16:
+		lo := min8((*[8]uint64)(lru))
+		hi := 8 + min8((*[8]uint64)(lru[8:16]))
+		if lru[hi] < lru[lo] {
+			return hi
+		}
+		return lo
+	}
+	minI, minV := 0, lru[0]
+	for i, v := range lru[1:] {
+		if v < minV {
+			minI, minV = i+1, v
 		}
 	}
-	return nil
+	return minI
 }
 
-func (c *l2cache) set(line uint64) []l2way {
-	return c.sets[(line/lineBytes)&c.setMask]
-}
-
-func (c *l2cache) find(line uint64) *l2way {
-	set := c.set(line)
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			return &set[i]
+// find returns the slab index of line's way, or -1 when not resident. The
+// scan has no early exit: a line occupies at most one way, so taking the
+// last match is equivalent, and the fixed-trip-count loop compiles to
+// branch-predictable code (conditional moves) instead of a data-dependent
+// break that mispredicts on every hit.
+func (c *l1cache) find(line uint64) int {
+	if c.lines[c.mru] == line {
+		return c.mru
+	}
+	base := c.base(line)
+	w := -1
+	for i, l := range c.lines[base : base+c.assoc] {
+		if l == line {
+			w = int(base) + i
 		}
 	}
-	return nil
+	if w >= 0 {
+		c.mru = w
+	}
+	return w
+}
+
+func (c *l2cache) base(line uint64) uint64 {
+	return ((line >> lineShift) & c.setMask) * c.assoc
+}
+
+func (c *l2cache) find(line uint64) int {
+	base := c.base(line)
+	w := -1
+	for i, l := range c.lines[base : base+c.assoc] {
+		if l == line {
+			w = int(base) + i
+		}
+	}
+	return w
 }
 
 // HasLine reports the L1 state of line for hardware thread tid without
 // touching LRU or charging latency (a diagnostic, used by tests).
 func (h *Hierarchy) HasLine(tid int, line uint64) State {
-	if w := h.l1[tid/h.smt].find(line); w != nil {
-		return w.state
+	l1 := &h.l1[h.coreOf[tid]]
+	if w := l1.find(line); w >= 0 {
+		return l1.state[w]
 	}
 	return Invalid
 }
@@ -180,7 +325,7 @@ func (h *Hierarchy) notifySiblings(tid int, line uint64) {
 	if h.listener == nil || h.smt == 1 {
 		return
 	}
-	base := (tid / h.smt) * h.smt
+	base := int(h.coreOf[tid]) * h.smt
 	for k := 0; k < h.smt; k++ {
 		if base+k != tid {
 			h.listener.LineInvalidated(base+k, line)
@@ -191,34 +336,20 @@ func (h *Hierarchy) notifySiblings(tid int, line uint64) {
 // Read performs a load by hardware thread tid from the line containing addr
 // and returns its latency in cycles.
 func (h *Hierarchy) Read(tid int, addr uint64) uint64 {
-	core := tid / h.smt
+	core := int(h.coreOf[tid])
 	line := addr &^ (lineBytes - 1)
 	h.tick++
-	if w := h.l1[core].find(line); w != nil {
-		w.lru = h.tick
+	l1 := &h.l1[core]
+	if w := l1.find(line); w >= 0 {
+		l1.lru[w] = h.tick
 		h.stats.L1Hits++
 		return h.p.LatL1Hit
 	}
 	h.stats.L1Misses++
-	lat := h.p.LatL1Hit + h.p.LatDir
-	w2 := h.l2.find(line)
-	if w2 == nil {
-		h.stats.L2Misses++
-		lat += h.p.LatMem
-		w2 = h.installL2(line)
-	} else {
-		h.stats.L2Hits++
-		lat += h.p.LatL2Hit
-		if w2.owner >= 0 && int(w2.owner) != core {
-			// A remote L1 holds the line Modified: forward and downgrade.
-			lat += h.p.LatRemoteFwd
-			h.stats.RemoteFwds++
-			h.downgradeOwner(w2)
-		}
-	}
-	w2.sharers |= 1 << uint(core)
-	w2.lru = h.tick
-	h.installL1(core, line, Shared)
+	lat, w2 := h.missFill(core, line, false)
+	h.l2.sharers[w2] |= 1 << uint(core)
+	h.l2.lru[w2] = h.tick
+	h.installL1(core, line, Shared, w2)
 	return lat
 }
 
@@ -226,77 +357,99 @@ func (h *Hierarchy) Read(tid int, addr uint64) uint64 {
 // thread tid and returns the latency. The caller performs the actual data
 // store in the simulated heap.
 func (h *Hierarchy) Write(tid int, addr uint64) uint64 {
-	core := tid / h.smt
-	defer h.notifySiblings(tid, addr&^(lineBytes-1))
+	core := int(h.coreOf[tid])
 	line := addr &^ (lineBytes - 1)
 	h.tick++
-	if w := h.l1[core].find(line); w != nil {
-		w.lru = h.tick
-		if w.state == Modified {
+	l1 := &h.l1[core]
+	if w := l1.find(line); w >= 0 {
+		l1.lru[w] = h.tick
+		if l1.state[w] == Modified {
 			h.stats.L1Hits++
+			h.notifySiblings(tid, line)
 			return h.p.LatL1Hit
 		}
 		// S -> M upgrade.
 		h.stats.L1Hits++
 		lat := h.p.LatL1Hit + h.p.LatDir
-		w2 := h.l2.find(line)
-		if w2 == nil {
+		w2 := int(l1.l2way[w])
+		if h.l2.lines[w2] != line {
 			panic(fmt.Sprintf("cache: inclusivity violated for line %#x", line))
 		}
-		if others := w2.sharers &^ (1 << uint(core)); others != 0 {
+		if others := h.l2.sharers[w2] &^ (1 << uint(core)); others != 0 {
 			lat += h.p.LatInv
 			h.invalidateSharers(line, others)
-			w2.sharers &= 1 << uint(core)
+			h.l2.sharers[w2] &= 1 << uint(core)
 		} else {
 			lat += h.p.LatUpgrade
 			h.stats.Upgrades++
 		}
-		w2.owner = int8(core)
-		w2.lru = h.tick
-		w.state = Modified
+		h.l2.owner[w2] = int8(core)
+		h.l2.lru[w2] = h.tick
+		l1.state[w] = Modified
+		h.notifySiblings(tid, line)
 		return lat
 	}
 	// Miss: read-for-ownership.
 	h.stats.L1Misses++
+	lat, w2 := h.missFill(core, line, true)
+	h.l2.sharers[w2] = 1 << uint(core)
+	h.l2.owner[w2] = int8(core)
+	h.l2.lru[w2] = h.tick
+	h.installL1(core, line, Modified, w2)
+	h.notifySiblings(tid, line)
+	return lat
+}
+
+// missFill is the L1-miss path shared by Read and Write: directory lookup,
+// L2 fill on an L2 miss, and remote-owner resolution. For a read the remote
+// Modified copy is downgraded and forwarded; for a write (read-for-
+// ownership) the owner's copy is dropped and every other sharer invalidated.
+// It returns the latency accumulated so far and the slab index of the line's
+// L2 way, whose sharers/owner/lru the caller updates.
+func (h *Hierarchy) missFill(core int, line uint64, forWrite bool) (uint64, int) {
 	lat := h.p.LatL1Hit + h.p.LatDir
 	w2 := h.l2.find(line)
-	if w2 == nil {
+	if w2 < 0 {
 		h.stats.L2Misses++
-		lat += h.p.LatMem
-		w2 = h.installL2(line)
-	} else {
-		h.stats.L2Hits++
-		lat += h.p.LatL2Hit
-		if w2.owner >= 0 {
-			lat += h.p.LatRemoteFwd
-			h.stats.RemoteFwds++
-			h.dropL1(int(w2.owner), line)
-			w2.dirty = true
-			w2.sharers &^= 1 << uint(w2.owner)
-			w2.owner = -1
+		return lat + h.p.LatMem, h.installL2(line)
+	}
+	h.stats.L2Hits++
+	lat += h.p.LatL2Hit
+	if owner := h.l2.owner[w2]; owner >= 0 && (forWrite || int(owner) != core) {
+		// A remote L1 holds the line Modified: forward it.
+		lat += h.p.LatRemoteFwd
+		h.stats.RemoteFwds++
+		if forWrite {
+			h.dropL1(int(owner), line)
+			h.l2.dirty[w2] = true
+			h.l2.sharers[w2] &^= 1 << uint(owner)
+			h.l2.owner[w2] = -1
+		} else {
+			h.downgradeOwner(w2)
 		}
-		if others := w2.sharers &^ (1 << uint(core)); others != 0 {
+	}
+	if forWrite {
+		if others := h.l2.sharers[w2] &^ (1 << uint(core)); others != 0 {
 			lat += h.p.LatInv
 			h.invalidateSharers(line, others)
 		}
 	}
-	w2.sharers = 1 << uint(core)
-	w2.owner = int8(core)
-	w2.lru = h.tick
-	h.installL1(core, line, Modified)
-	return lat
+	return lat, w2
 }
 
-// downgradeOwner moves the current owner's copy from Modified to Shared,
-// writing the line back to the L2. Downgrades do not fire the listener.
-func (h *Hierarchy) downgradeOwner(w2 *l2way) {
-	ow := h.l1[w2.owner].find(w2.line)
-	if ow == nil || ow.state != Modified {
-		panic(fmt.Sprintf("cache: directory owner desync for line %#x", w2.line))
+// downgradeOwner moves the current owner's copy of the line in L2 way w2
+// from Modified to Shared, writing the line back to the L2. Downgrades do
+// not fire the listener.
+func (h *Hierarchy) downgradeOwner(w2 int) {
+	line := h.l2.lines[w2]
+	l1 := &h.l1[h.l2.owner[w2]]
+	ow := l1.find(line)
+	if ow < 0 || l1.state[ow] != Modified {
+		panic(fmt.Sprintf("cache: directory owner desync for line %#x", line))
 	}
-	ow.state = Shared
-	w2.dirty = true
-	w2.owner = -1
+	l1.state[ow] = Shared
+	h.l2.dirty[w2] = true
+	h.l2.owner[w2] = -1
 }
 
 // invalidateSharers drops every L1 copy named in mask and fires the listener
@@ -315,109 +468,142 @@ func (h *Hierarchy) invalidateSharers(line uint64, mask uint64) {
 // dropL1 removes physical core l1i's copy of line (if present) and notifies
 // every hyperthread of that core.
 func (h *Hierarchy) dropL1(l1i int, line uint64) {
-	if w := h.l1[l1i].find(line); w != nil {
-		w.state = Invalid
+	l1 := &h.l1[l1i]
+	if w := l1.find(line); w >= 0 {
+		l1.state[w] = Invalid
+		l1.lines[w] = invalidLine
+		l1.full[(line>>lineShift)&l1.setMask]--
 		h.notify(l1i, line)
 	}
 }
 
-// installL1 places line into core's L1 in the given state, evicting a victim
-// if the set is full. A victim eviction is an invalidation of the victim line
-// for this core (revoking any tag on it), and updates the directory.
-func (h *Hierarchy) installL1(core int, line uint64, st State) {
-	set := h.l1[core].set(line)
-	victim := 0
-	for i := range set {
-		if set[i].state == Invalid {
-			victim = i
-			goto place
-		}
-		if set[i].lru < set[victim].lru {
-			victim = i
+// installL1 places line (whose L2 way is w2new) into core's L1 in the given
+// state, evicting a victim if the set is full. A victim eviction is an
+// invalidation of the victim line for this core (revoking any tag on it),
+// and updates the directory.
+func (h *Hierarchy) installL1(core int, line uint64, st State, w2new int) {
+	l1 := &h.l1[core]
+	set := (line >> lineShift) & l1.setMask
+	base := int(set) * int(l1.assoc)
+	end := base + int(l1.assoc)
+	victim := -1
+	// First empty way wins; a full set (the steady state, tracked in full)
+	// skips straight to the LRU pass. Range loops over subslices let the
+	// compiler elide per-way bounds checks.
+	if int(l1.full[set]) < int(l1.assoc) {
+		for i, l := range l1.lines[base:end] {
+			if l == invalidLine {
+				victim = base + i
+				break
+			}
 		}
 	}
+	if victim >= 0 {
+		l1.full[set]++
+		goto place
+	}
+	victim = base + minLRU(l1.lru[base:end])
 	// Evict the LRU way.
 	{
-		v := &set[victim]
+		vline := l1.lines[victim]
 		h.stats.L1Evictions++
-		w2 := h.l2.find(v.line)
-		if w2 == nil {
-			panic(fmt.Sprintf("cache: inclusivity violated evicting %#x", v.line))
+		w2 := int(l1.l2way[victim])
+		if h.l2.lines[w2] != vline {
+			panic(fmt.Sprintf("cache: inclusivity violated evicting %#x", vline))
 		}
-		if v.state == Modified {
-			w2.dirty = true
+		if l1.state[victim] == Modified {
+			h.l2.dirty[w2] = true
 		}
-		if int(w2.owner) == core {
-			w2.owner = -1
+		if int(h.l2.owner[w2]) == core {
+			h.l2.owner[w2] = -1
 		}
-		w2.sharers &^= 1 << uint(core)
-		v.state = Invalid
-		h.notify(core, v.line)
+		h.l2.sharers[w2] &^= 1 << uint(core)
+		l1.state[victim] = Invalid
+		h.notify(core, vline)
 	}
 place:
-	set[victim] = l1way{line: line, state: st, lru: h.tick}
+	l1.lines[victim] = line
+	l1.state[victim] = st
+	l1.lru[victim] = h.tick
+	l1.l2way[victim] = int32(w2new)
+	l1.mru = victim
 }
 
 // installL2 places line into the L2, evicting (and back-invalidating) a
-// victim if needed, and returns the new way.
-func (h *Hierarchy) installL2(line uint64) *l2way {
-	set := h.l2.set(line)
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
-			victim = i
-			goto place
-		}
-		if set[i].lru < set[victim].lru {
-			victim = i
+// victim if needed, and returns the slab index of the new way.
+func (h *Hierarchy) installL2(line uint64) int {
+	l2 := &h.l2
+	set := (line >> lineShift) & l2.setMask
+	base := int(set) * int(l2.assoc)
+	end := base + int(l2.assoc)
+	victim := -1
+	if int(l2.full[set]) < int(l2.assoc) {
+		for i, l := range l2.lines[base:end] {
+			if l == invalidLine {
+				victim = base + i
+				break
+			}
 		}
 	}
+	if victim >= 0 {
+		l2.full[set]++
+		goto place
+	}
+	victim = base + minLRU(l2.lru[base:end])
 	// Evict LRU, back-invalidating all L1 copies (inclusive L2).
 	{
-		v := &set[victim]
-		for c, m := 0, v.sharers; m != 0; c++ {
+		vline := l2.lines[victim]
+		for c, m := 0, l2.sharers[victim]; m != 0; c++ {
 			if m&(1<<uint(c)) == 0 {
 				continue
 			}
 			m &^= 1 << uint(c)
-			h.dropL1(c, v.line)
+			h.dropL1(c, vline)
 			h.stats.BackInvals++
 		}
 		// Dirty victims write back to memory; the cost is off the requester's
 		// critical path and is not charged.
-		v.valid = false
 	}
 place:
-	set[victim] = l2way{line: line, valid: true, owner: -1, lru: h.tick}
-	return &set[victim]
+	l2.lines[victim] = line
+	l2.lru[victim] = h.tick
+	l2.sharers[victim] = 0
+	l2.owner[victim] = -1
+	l2.dirty[victim] = false
+	return victim
 }
 
 // CheckInvariants validates directory/L1 consistency: at most one Modified
 // copy per line, directory sharer sets exactly matching L1 contents, and
 // inclusivity. Property tests call it after random access sequences, and
 // checked simulation runs lean on it, so it works directly off the indexed
-// cache arrays (set-indexed l1.find/l2.find probes) rather than building a
+// cache slabs (set-indexed l1.find/l2.find probes) rather than building a
 // per-call map of holders: no allocation, and cost proportional to resident
 // lines plus actual sharing.
 func (h *Hierarchy) CheckInvariants() error {
 	// Every valid L1 line must be in the inclusive L2, its directory sharer
 	// bit must be set, and a Modified copy must be the directory owner.
 	for c := range h.l1 {
-		for _, set := range h.l1[c].sets {
-			for _, w := range set {
-				if w.state == Invalid {
-					continue
+		l1 := &h.l1[c]
+		for i, line := range l1.lines {
+			if line == invalidLine {
+				if l1.state[i] != Invalid {
+					return fmt.Errorf("empty L1 way %d in core %d has state %v", i, c, l1.state[i])
 				}
-				w2 := h.l2.find(w.line)
-				if w2 == nil {
-					return fmt.Errorf("line %#x in an L1 but not in inclusive L2", w.line)
-				}
-				if w2.sharers&(1<<uint(c)) == 0 {
-					return fmt.Errorf("line %#x held by core %d but directory sharers %b lack it", w.line, c, w2.sharers)
-				}
-				if w.state == Modified && int(w2.owner) != c {
-					return fmt.Errorf("line %#x Modified in core %d but directory owner is %d", w.line, c, w2.owner)
-				}
+				continue
+			}
+			if l1.state[i] == Invalid {
+				return fmt.Errorf("invalid L1 way in core %d holds line %#x instead of the sentinel", c, line)
+			}
+			w2 := h.l2.find(line)
+			if w2 < 0 {
+				return fmt.Errorf("line %#x in an L1 but not in inclusive L2", line)
+			}
+			if h.l2.sharers[w2]&(1<<uint(c)) == 0 {
+				return fmt.Errorf("line %#x held by core %d but directory sharers %b lack it", line, c, h.l2.sharers[w2])
+			}
+			if l1.state[i] == Modified && int(h.l2.owner[w2]) != c {
+				return fmt.Errorf("line %#x Modified in core %d but directory owner is %d", line, c, h.l2.owner[w2])
 			}
 		}
 	}
@@ -425,38 +611,63 @@ func (h *Hierarchy) CheckInvariants() error {
 	// with exactly the directory's owner (if any) Modified and owning alone.
 	// Combined with the pass above (no L1 copy outside the sharer set), the
 	// claimed set equals the actual set.
-	for _, set := range h.l2.sets {
-		for i := range set {
-			w2 := &set[i]
-			if !w2.valid {
+	for i, line := range h.l2.lines {
+		if line == invalidLine {
+			continue
+		}
+		owner := int8(-1)
+		for c, m := 0, h.l2.sharers[i]; m != 0; c++ {
+			if c >= len(h.l1) {
+				return fmt.Errorf("line %#x directory sharers %b name nonexistent cores", line, h.l2.sharers[i])
+			}
+			if m&(1<<uint(c)) == 0 {
 				continue
 			}
-			owner := int8(-1)
-			for c, m := 0, w2.sharers; m != 0; c++ {
-				if c >= len(h.l1) {
-					return fmt.Errorf("line %#x directory sharers %b name nonexistent cores", w2.line, w2.sharers)
-				}
-				if m&(1<<uint(c)) == 0 {
-					continue
-				}
-				m &^= 1 << uint(c)
-				w := h.l1[c].find(w2.line)
-				if w == nil {
-					return fmt.Errorf("directory claims sharer %d for line %#x held by no such L1", c, w2.line)
-				}
-				if w.state == Modified {
-					if owner >= 0 {
-						return fmt.Errorf("line %#x Modified in cores %d and %d", w2.line, owner, c)
-					}
-					owner = int8(c)
-				}
+			m &^= 1 << uint(c)
+			w := h.l1[c].find(line)
+			if w < 0 {
+				return fmt.Errorf("directory claims sharer %d for line %#x held by no such L1", c, line)
 			}
-			if w2.owner != owner {
-				return fmt.Errorf("line %#x directory owner %d != actual %d", w2.line, w2.owner, owner)
+			if h.l1[c].state[w] == Modified {
+				if owner >= 0 {
+					return fmt.Errorf("line %#x Modified in cores %d and %d", line, owner, c)
+				}
+				owner = int8(c)
 			}
-			if owner >= 0 && w2.sharers != 1<<uint(owner) {
-				return fmt.Errorf("line %#x Modified at %d but shared by %b", w2.line, owner, w2.sharers)
+		}
+		if h.l2.owner[i] != owner {
+			return fmt.Errorf("line %#x directory owner %d != actual %d", line, h.l2.owner[i], owner)
+		}
+		if owner >= 0 && h.l2.sharers[i] != 1<<uint(owner) {
+			return fmt.Errorf("line %#x Modified at %d but shared by %b", line, owner, h.l2.sharers[i])
+		}
+	}
+	// The redundant per-set occupancy counters must match the slabs exactly:
+	// a drifted counter silently corrupts victim selection (install would
+	// evict a live line while an empty way exists, or scan a full set).
+	for c := range h.l1 {
+		if err := checkFull("L1", h.l1[c].lines, h.l1[c].full, int(h.l1[c].assoc)); err != nil {
+			return fmt.Errorf("core %d: %w", c, err)
+		}
+	}
+	if err := checkFull("L2", h.l2.lines, h.l2.full, int(h.l2.assoc)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkFull verifies a cache's per-set valid-way counters against its line
+// slab.
+func checkFull(level string, lines []uint64, full []uint16, assoc int) error {
+	for set := range full {
+		n := 0
+		for _, l := range lines[set*assoc : (set+1)*assoc] {
+			if l != invalidLine {
+				n++
 			}
+		}
+		if int(full[set]) != n {
+			return fmt.Errorf("%s set %d occupancy counter %d != actual %d valid ways", level, set, full[set], n)
 		}
 	}
 	return nil

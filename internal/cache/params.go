@@ -15,6 +15,8 @@
 // there is always a single authoritative copy of every word.
 package cache
 
+import "fmt"
+
 // Params configures cache geometry and the latency model. All latencies are
 // in simulated core cycles.
 type Params struct {
@@ -80,18 +82,35 @@ func (p Params) SMTWidth() int {
 // L1Count returns the number of physical L1 caches.
 func (p Params) L1Count() int { return p.Cores / p.SMTWidth() }
 
-// Validate panics if the geometry is inconsistent.
-func (p Params) Validate() {
+// Check reports whether the geometry is consistent: positive sizes, whole
+// sets, and power-of-two set counts (the caches index sets by masking).
+// Everything is validated up front, before any cache is allocated, so bad
+// geometry — including a sweep's Cache override — fails immediately.
+func (p Params) Check() error {
 	if p.Cores <= 0 || p.Cores > 64 {
-		panic("cache: core count must be in [1,64]")
+		return fmt.Errorf("cache: core count %d must be in [1,64]", p.Cores)
 	}
 	if p.Cores%p.SMTWidth() != 0 {
-		panic("cache: Cores must be a multiple of ThreadsPerCore")
+		return fmt.Errorf("cache: cores %d must be a multiple of ThreadsPerCore %d", p.Cores, p.SMTWidth())
 	}
 	if p.L1Bytes <= 0 || p.L1Assoc <= 0 || p.L1Bytes%(p.L1Assoc*lineBytes) != 0 {
-		panic("cache: bad L1 geometry")
+		return fmt.Errorf("cache: bad L1 geometry %dB/%d-way", p.L1Bytes, p.L1Assoc)
 	}
 	if p.L2Bytes <= 0 || p.L2Assoc <= 0 || p.L2Bytes%(p.L2Assoc*lineBytes) != 0 {
-		panic("cache: bad L2 geometry")
+		return fmt.Errorf("cache: bad L2 geometry %dB/%d-way", p.L2Bytes, p.L2Assoc)
+	}
+	if sets := p.L1Bytes / (p.L1Assoc * lineBytes); sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: L1 set count %d must be a power of two", sets)
+	}
+	if sets := p.L2Bytes / (p.L2Assoc * lineBytes); sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: L2 set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// Validate panics if the geometry is inconsistent (see Check).
+func (p Params) Validate() {
+	if err := p.Check(); err != nil {
+		panic(err)
 	}
 }

@@ -60,10 +60,11 @@ type coreState struct {
 // machine. Create it with New, wire it as the cache hierarchy's Listener,
 // then Attach the hierarchy and heap.
 type Extension struct {
-	h     *cache.Hierarchy
-	space *mem.Space
-	cores []coreState
-	stats Stats
+	h       *cache.Hierarchy
+	space   *mem.Space
+	cores   []coreState
+	stats   Stats
+	latFlag uint64 // cached Params().LatFlagCheck: every instruction pays it
 
 	// Check enables the executable safety invariants (Theorems 6 and 7).
 	Check bool
@@ -80,6 +81,18 @@ func New(nCores int) *Extension {
 func (e *Extension) Attach(h *cache.Hierarchy, space *mem.Space) {
 	e.h = h
 	e.space = space
+	e.latFlag = h.Params().LatFlagCheck
+}
+
+// Reset clears every core's tag set and accessRevokedBit and zeroes the
+// statistics, returning the extension to its post-New state (tag-slice
+// capacity is kept).
+func (e *Extension) Reset() {
+	for i := range e.cores {
+		e.cores[i].tags = e.cores[i].tags[:0]
+		e.cores[i].revoked = false
+	}
+	e.stats = Stats{}
 }
 
 // Stats returns a copy of the accumulated statistics.
@@ -137,18 +150,17 @@ func (cs *coreState) findTag(line uint64) *tagEntry {
 // it returns only the flag-check latency and ok=false, having performed no
 // memory access.
 func (e *Extension) CRead(core int, addr mem.Addr) (val uint64, lat uint64, ok bool) {
-	p := e.h.Params()
 	cs := &e.cores[core]
 	if cs.revoked {
 		e.stats.CReadFails++
-		return 0, p.LatFlagCheck, false
+		return 0, e.latFlag, false
 	}
 	// The load may evict another tagged line of this core, setting the
 	// revoked bit; per the paper's atomicity, this cread still succeeds (its
 	// flag check happened first) and the next conditional access fails.
-	lat = e.h.Read(core, addr) + p.LatFlagCheck
+	lat = e.h.Read(core, addr) + e.latFlag
 	line := mem.LineOf(addr)
-	gen := e.space.Gen(addr)
+	v, gen := e.space.ReadGen(addr)
 	if t := cs.findTag(line); t != nil {
 		if e.Check && t.gen != gen {
 			panic(fmt.Sprintf("core: cread at %#x succeeded across reallocation (gen %d -> %d): Theorem 7 violated", addr, t.gen, gen))
@@ -163,7 +175,7 @@ func (e *Extension) CRead(core int, addr mem.Addr) (val uint64, lat uint64, ok b
 		panic(fmt.Sprintf("core: cread at %#x succeeded on a freed line: Theorem 6 violated", addr))
 	}
 	e.stats.CReads++
-	return e.space.Read(addr), lat, true
+	return v, lat, true
 }
 
 // CWrite executes a cwrite by core of v to addr. It fails — performing no
@@ -171,17 +183,16 @@ func (e *Extension) CRead(core int, addr mem.Addr) (val uint64, lat uint64, ok b
 // the tag set (the paper requires a prior cread precisely to keep the
 // high-latency fill out of the store path; see Section II-B).
 func (e *Extension) CWrite(core int, addr mem.Addr, v uint64) (lat uint64, ok bool) {
-	p := e.h.Params()
 	cs := &e.cores[core]
 	if cs.revoked {
 		e.stats.CWriteFails++
-		return p.LatFlagCheck, false
+		return e.latFlag, false
 	}
 	t := cs.findTag(mem.LineOf(addr))
 	if t == nil {
 		e.stats.CWriteFails++
 		e.stats.Untagged++
-		return p.LatFlagCheck, false
+		return e.latFlag, false
 	}
 	gen := e.space.Gen(addr)
 	if e.Check {
@@ -194,7 +205,7 @@ func (e *Extension) CWrite(core int, addr mem.Addr, v uint64) (lat uint64, ok bo
 	}
 	// The line is tagged, hence still resident in this L1 (tags live on
 	// lines): the write is at worst an S->M upgrade, never a fill.
-	lat = e.h.Write(core, addr) + p.LatFlagCheck
+	lat = e.h.Write(core, addr) + e.latFlag
 	e.space.Write(addr, v)
 	e.stats.CWrites++
 	return lat, true
@@ -212,7 +223,7 @@ func (e *Extension) UntagOne(core int, addr mem.Addr) (lat uint64) {
 			break
 		}
 	}
-	return e.h.Params().LatFlagCheck
+	return e.latFlag
 }
 
 // UntagAll clears core's tag set and accessRevokedBit.
@@ -220,5 +231,5 @@ func (e *Extension) UntagAll(core int) (lat uint64) {
 	cs := &e.cores[core]
 	cs.tags = cs.tags[:0]
 	cs.revoked = false
-	return e.h.Params().LatFlagCheck
+	return e.latFlag
 }

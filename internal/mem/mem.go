@@ -86,6 +86,20 @@ func NewSpace() *Space {
 	return s
 }
 
+// Reset returns the space to its post-NewSpace state — empty heap, empty
+// free list, zeroed statistics — while keeping the backing arrays, so a
+// reused machine does not pay to re-grow its heap. Every word and line
+// record that was ever carved is cleared; the next trial observes state
+// bit-for-bit identical to a fresh space.
+func (s *Space) Reset() {
+	clear(s.words[:uint64(s.nextLine)*WordsPerLine])
+	clear(s.lines[:s.nextLine])
+	s.lines[0].state = lineReserved
+	s.freeList = s.freeList[:0]
+	s.nextLine = 1
+	s.stats = Stats{}
+}
+
 func (s *Space) grow(minLines uint32) {
 	for uint32(len(s.lines)) < minLines {
 		n := len(s.lines) * 2
@@ -206,6 +220,21 @@ func (s *Space) checkAccess(a Addr, op string) {
 	if s.CheckUAF && s.lines[li].state != lineLive {
 		panic(fmt.Sprintf("mem: use-after-free %s at %#x (gen %d)", op, a, s.lines[li].gen))
 	}
+}
+
+// ReadGen loads the word at a and returns it together with the containing
+// line's allocation generation — the pair the Conditional Access cread path
+// needs on every tagged load. It is exactly Read followed by Gen, fused so
+// the address is resolved once.
+func (s *Space) ReadGen(a Addr) (uint64, uint32) {
+	if a%WordBytes != 0 {
+		panic(fmt.Sprintf("mem: unaligned read at %#x", a))
+	}
+	li := s.lineIndex(a)
+	if s.CheckUAF && s.lines[li].state != lineLive {
+		panic(fmt.Sprintf("mem: use-after-free read at %#x (gen %d)", a, s.lines[li].gen))
+	}
+	return s.words[a/WordBytes], s.lines[li].gen
 }
 
 // ReadAny loads a word regardless of allocation state. It models what real

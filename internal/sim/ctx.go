@@ -13,9 +13,22 @@ import "condaccess/internal/mem"
 type Ctx struct {
 	th      *thread
 	m       *Machine
+	clock   *uint64 // &m.clocks[th.c]: charge is the hottest path in the simulator
 	limit   uint64
 	rng     *RNG
 	zeroRun uint64 // consecutive zero-cycle charges (watchdog)
+}
+
+// newCtx builds the context a thread executes under, with its first
+// run-until limit.
+func newCtx(t *thread, limit uint64) *Ctx {
+	return &Ctx{
+		th:    t,
+		m:     t.m,
+		clock: &t.m.clocks[t.c],
+		limit: limit,
+		rng:   NewRNG(t.m.cfg.Seed + uint64(t.id)*0x9E3779B97F4A7C15 + 1),
+	}
 }
 
 // zeroChargeLimit bounds consecutive zero-latency operations. A simulated
@@ -24,10 +37,24 @@ type Ctx struct {
 // loop instead.
 const zeroChargeLimit = 1 << 26
 
-// charge advances this core's clock by lat cycles and yields to the
-// scheduler if the quantum is exhausted. It runs after the access has taken
-// effect, so accesses are atomic at their issue time.
+// charge advances this core's clock by lat cycles and hands off to the next
+// runnable thread if the quantum is exhausted. It runs after the access has
+// taken effect, so accesses are atomic at their issue time. The body is
+// shaped to stay within the inlining budget of every Ctx memory operation:
+// the common case (nonzero charge, quantum not exhausted) is three
+// instructions, and everything else lives in chargeSlow.
 func (c *Ctx) charge(lat uint64) {
+	*c.clock += lat
+	if lat != 0 && *c.clock <= c.limit {
+		c.zeroRun = 0
+	} else {
+		c.chargeSlow(lat)
+	}
+}
+
+// chargeSlow handles the zero-latency watchdog and the quantum-expiry
+// handoff.
+func (c *Ctx) chargeSlow(lat uint64) {
 	if lat == 0 {
 		if c.zeroRun++; c.zeroRun > zeroChargeLimit {
 			panic("sim: thread looped >2^26 times without consuming simulated time")
@@ -35,12 +62,25 @@ func (c *Ctx) charge(lat uint64) {
 	} else {
 		c.zeroRun = 0
 	}
-	cl := &c.m.clocks[c.th.c]
-	*cl += lat
-	if *cl > c.limit {
-		c.th.yield <- false
-		c.limit = <-c.th.resume
+	if *c.clock > c.limit {
+		c.yield()
 	}
+}
+
+// yield is the quantum-expiry slow path: this thread selects the next
+// runnable thread itself and resumes it directly (one channel handoff — the
+// historical central scheduler cost a yield plus a resume round-trip), then
+// sleeps until some peer hands the token back with a fresh limit.
+func (c *Ctx) yield() {
+	next, limit := c.m.pickNext()
+	if next == c.th {
+		// Cannot happen today (a thread past its limit is never the minimum),
+		// but keeping the check costs nothing and keeps yield self-contained.
+		c.limit = limit
+		return
+	}
+	next.handoff(limit)
+	c.limit = c.th.await()
 }
 
 // ThreadID returns this thread's spawn index within its Run phase's core
@@ -51,7 +91,7 @@ func (c *Ctx) ThreadID() int { return c.th.c }
 func (c *Ctx) Rand() *RNG { return c.rng }
 
 // Clock returns this core's current cycle count.
-func (c *Ctx) Clock() uint64 { return c.m.clocks[c.th.c] }
+func (c *Ctx) Clock() uint64 { return *c.clock }
 
 // Machine returns the machine this context runs on.
 func (c *Ctx) Machine() *Machine { return c.m }
@@ -112,14 +152,36 @@ func (c *Ctx) CWrite(a mem.Addr, v uint64) bool {
 	return ok
 }
 
-// UntagOne removes a's line from this thread's tag set.
-func (c *Ctx) UntagOne(a mem.Addr) {
-	c.charge(c.m.Ext.UntagOne(c.th.c, a))
+// chargeZero is the zero-latency charge: the clock does not move, so the
+// quantum cannot expire and only the watchdog needs feeding. Small enough to
+// inline where charge's general body would not.
+func (c *Ctx) chargeZero() {
+	if c.zeroRun++; c.zeroRun > zeroChargeLimit {
+		panic("sim: thread looped >2^26 times without consuming simulated time")
+	}
 }
 
-// UntagAll clears the tag set and the accessRevokedBit.
+// UntagOne removes a's line from this thread's tag set.
+//
+// Untag latency is LatFlagCheck, which is zero in the default latency model;
+// a zero charge can never exhaust a quantum, so the frequent zero case feeds
+// the watchdog inline instead of paying the full charge path.
+func (c *Ctx) UntagOne(a mem.Addr) {
+	if lat := c.m.Ext.UntagOne(c.th.c, a); lat != 0 {
+		c.charge(lat)
+	} else {
+		c.chargeZero()
+	}
+}
+
+// UntagAll clears the tag set and the accessRevokedBit. Zero charges are
+// handled as in UntagOne.
 func (c *Ctx) UntagAll() {
-	c.charge(c.m.Ext.UntagAll(c.th.c))
+	if lat := c.m.Ext.UntagAll(c.th.c); lat != 0 {
+		c.charge(lat)
+	} else {
+		c.chargeZero()
+	}
 }
 
 // Revoked reports this thread's accessRevokedBit (diagnostic; real code
@@ -129,7 +191,7 @@ func (c *Ctx) Revoked() bool { return c.m.Ext.Revoked(c.th.c) }
 // Fence models a full memory fence / store buffer drain. The reservation-
 // based reclamation schemes (hp, he, ibr) pay one per protected read; this
 // is the per-read overhead the paper attributes their slowness to.
-func (c *Ctx) Fence() { c.charge(c.m.Hier.Params().LatFence) }
+func (c *Ctx) Fence() { c.charge(c.m.latFence) }
 
 // Work charges n cycles of local computation.
 func (c *Ctx) Work(n uint64) { c.charge(n) }

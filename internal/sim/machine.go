@@ -2,13 +2,16 @@
 // on — the stand-in for the paper's Graphite.
 //
 // Each simulated thread is a goroutine pinned to a simulated core with its
-// own cycle clock. A conservative scheduler always resumes the runnable
-// thread with the smallest clock and lets it run until its clock passes the
-// next-smallest clock plus a slack window (Graphite's "lax" peer-to-peer
-// synchronization uses the same idea). Exactly one thread executes between
-// handshakes, so every simulated memory access is atomic, the memory model
-// is sequentially consistent, and — because scheduling depends only on
-// clocks and per-thread seeds — every run is bit-for-bit reproducible.
+// own cycle clock. Scheduling is conservative and peer-to-peer, in the
+// spirit of Graphite's "lax" synchronization: exactly one thread executes at
+// a time, and when its quantum expires it selects the runnable thread with
+// the smallest clock itself and hands execution to it directly — there is no
+// central scheduler goroutine. A thread may run until its clock passes the
+// next-smallest clock plus a slack window. Because exactly one thread
+// executes between handoffs, every simulated memory access is atomic, the
+// memory model is sequentially consistent, and — because scheduling depends
+// only on clocks and per-thread seeds — every run is bit-for-bit
+// reproducible.
 //
 // Simulated time comes from the cache model: every access returns a latency
 // (package cache) charged to the issuing core. Conditional Access
@@ -74,16 +77,29 @@ func (c Config) withDefaults() Config {
 // Machine is a simulated multicore. Build one with New, add threads with
 // Spawn, and execute them to completion with Run. A machine can run several
 // phases (e.g. a single-threaded prefill followed by the measured workload);
-// heap and cache state persist across phases.
+// heap and cache state persist across phases. Reset rewinds a machine to its
+// post-New state so sweeps can reuse one machine's allocations across trials.
 type Machine struct {
-	cfg    Config
-	Space  *mem.Space
-	Hier   *cache.Hierarchy
-	Ext    *core.Extension
-	clocks []uint64
+	cfg      Config
+	Space    *mem.Space
+	Hier     *cache.Hierarchy
+	Ext      *core.Extension
+	clocks   []uint64
+	latFence uint64 // cached Hier latency: Ctx.Fence is on the hot path
 
 	threads []*thread
 	spawned int
+
+	// Scheduler state. live holds the runnable threads; its order carries the
+	// historical tie-break (spawn order, perturbed by swap-removal of finished
+	// threads), liveC mirrors it with just the core ids so the per-quantum
+	// min-clock scan touches two flat arrays and no thread pointers, and pos
+	// indexes it by core so a finishing thread removes itself in O(1). done
+	// carries the last thread's completion to Run.
+	live  []*thread
+	liveC []int32
+	pos   []int
+	done  chan struct{}
 }
 
 type thread struct {
@@ -92,8 +108,25 @@ type thread struct {
 	m    *Machine
 	body func(*Ctx)
 
-	resume chan uint64 // scheduler -> thread: run-until limit
-	yield  chan bool   // thread -> scheduler: true = finished
+	// resume both wakes the thread and carries its next run-until limit.
+	// Exactly one thread executes at a time, so each send has exactly one
+	// blocked receiver: the previous holder hands the execution token
+	// directly to the next with a single channel operation — on one P this
+	// is the runtime's direct-handoff fast path (the receiver is placed in
+	// runnext), with no scheduler round-trip in between.
+	resume chan uint64
+}
+
+// handoff passes the execution token to t with its next run-until limit.
+// Only the current token holder (or Run, starting the phase) may call it.
+func (t *thread) handoff(limit uint64) {
+	t.resume <- limit
+}
+
+// await blocks until this thread receives the execution token and returns
+// the accompanying run-until limit.
+func (t *thread) await() uint64 {
+	return <-t.resume
 }
 
 // New builds a machine.
@@ -110,11 +143,43 @@ func New(cfg Config) *Machine {
 	m.Hier = cache.New(cfg.Cache, m.Ext)
 	m.Ext.Attach(m.Hier, m.Space)
 	m.clocks = make([]uint64, cfg.Cores)
+	m.latFence = cfg.Cache.LatFence
+	m.live = make([]*thread, 0, cfg.Cores)
+	m.liveC = make([]int32, 0, cfg.Cores)
+	m.pos = make([]int, cfg.Cores)
+	m.done = make(chan struct{}, 1)
 	return m
 }
 
 // Config returns the machine's configuration (with defaults applied).
 func (m *Machine) Config() Config { return m.cfg }
+
+// Reset rewinds the machine to its post-New state for cfg — clocks zeroed,
+// heap empty, caches cold, extension cleared, all statistics zero — reusing
+// every allocation. It reports false (leaving the machine untouched) when
+// cfg needs a different geometry, in which case the caller must build a new
+// machine. A reset machine is indistinguishable from a fresh one: trial
+// results are bit-for-bit identical either way.
+func (m *Machine) Reset(cfg Config) bool {
+	cfg = cfg.withDefaults()
+	if cfg.Cores != m.cfg.Cores || cfg.Cache != m.cfg.Cache {
+		return false
+	}
+	if len(m.threads) != 0 {
+		panic("sim: Reset with threads pending")
+	}
+	m.cfg = cfg
+	m.Space.Reset()
+	m.Space.CheckUAF = cfg.Check
+	m.Hier.Reset()
+	m.Ext.Reset()
+	m.Ext.Check = cfg.Check
+	for i := range m.clocks {
+		m.clocks[i] = 0
+	}
+	m.spawned = 0
+	return true
+}
 
 // Spawn adds a thread for the next Run phase. Threads are assigned to cores
 // in spawn order; spawning more threads than cores panics (the paper runs
@@ -129,60 +194,96 @@ func (m *Machine) Spawn(body func(*Ctx)) {
 		m:      m,
 		body:   body,
 		resume: make(chan uint64),
-		yield:  make(chan bool),
 	}
 	m.spawned++
 	m.threads = append(m.threads, t)
 }
 
-// Run executes all spawned threads to completion under the conservative
-// min-clock scheduler, then clears the thread list so another phase can be
-// spawned.
+// Run executes all spawned threads to completion, then clears the thread
+// list so another phase can be spawned.
+//
+// With one thread (e.g. the prefill phase) the body runs to completion
+// inline on the calling goroutine: a lone thread can never exhaust a
+// quantum, so no goroutine or channel is needed. With several, each thread
+// gets a goroutine and execution is a single token passed peer-to-peer: the
+// running thread yields by picking the next runnable thread (min clock) and
+// resuming it directly, and a finishing thread removes itself and hands off
+// the same way. Run only blocks until the last thread signals completion.
 func (m *Machine) Run() {
+	if len(m.threads) == 0 {
+		return
+	}
+	if len(m.threads) == 1 {
+		t := m.threads[0]
+		t.body(newCtx(t, ^uint64(0)))
+		m.threads = m.threads[:0]
+		return
+	}
+	m.live = append(m.live[:0], m.threads...)
+	m.liveC = m.liveC[:0]
+	for i, t := range m.live {
+		m.liveC = append(m.liveC, int32(t.c))
+		m.pos[t.c] = i
+	}
 	for _, t := range m.threads {
 		go t.main()
 	}
-	// Simple ordered list as a priority queue; thread counts are <= 64 so a
-	// linear scan is faster than container/heap here.
-	live := append([]*thread(nil), m.threads...)
-	for len(live) > 0 {
-		// Find min clock (ties broken by core id via scan order).
-		mi := 0
-		for i := 1; i < len(live); i++ {
-			if m.clocks[live[i].c] < m.clocks[live[mi].c] {
-				mi = i
-			}
-		}
-		t := live[mi]
-		limit := ^uint64(0)
-		if len(live) > 1 {
-			second := ^uint64(0)
-			for i, o := range live {
-				if i != mi && m.clocks[o.c] < second {
-					second = m.clocks[o.c]
-				}
-			}
-			limit = second + m.cfg.Slack
-		}
-		t.resume <- limit
-		if done := <-t.yield; done {
-			live[mi] = live[len(live)-1]
-			live = live[:len(live)-1]
-		}
-	}
+	next, limit := m.pickNext()
+	next.handoff(limit)
+	<-m.done
 	m.threads = m.threads[:0]
 }
 
-func (t *thread) main() {
-	limit := <-t.resume
-	ctx := &Ctx{
-		th:    t,
-		m:     t.m,
-		limit: limit,
-		rng:   NewRNG(t.m.cfg.Seed + uint64(t.id)*0x9E3779B97F4A7C15 + 1),
+// pickNext selects the runnable thread with the smallest clock — ties broken
+// by live-list order, exactly as the historical central scheduler's scan did
+// — and computes its run-until limit (second-smallest clock plus slack) in
+// the same single pass. Threads are at most 64, so a linear scan beats a
+// heap here.
+func (m *Machine) pickNext() (*thread, uint64) {
+	liveC := m.liveC
+	clocks := m.clocks
+	mi := 0
+	minClock := clocks[liveC[0]]
+	second := ^uint64(0)
+	for i := 1; i < len(liveC); i++ {
+		c := clocks[liveC[i]]
+		if c < minClock {
+			second = minClock
+			minClock = c
+			mi = i
+		} else if c < second {
+			second = c
+		}
 	}
-	t.body(ctx)
-	t.yield <- true
+	if len(liveC) == 1 {
+		return m.live[0], ^uint64(0)
+	}
+	return m.live[mi], second + m.cfg.Slack
+}
+
+// finish removes t from the live set and hands the execution token to the
+// next runnable thread, or signals Run when t was the last. Runs on t's
+// goroutine, immediately before it exits.
+func (m *Machine) finish(t *thread) {
+	i := m.pos[t.c]
+	last := len(m.live) - 1
+	moved := m.live[last]
+	m.live[i] = moved
+	m.liveC[i] = m.liveC[last]
+	m.pos[moved.c] = i
+	m.live = m.live[:last]
+	m.liveC = m.liveC[:last]
+	if last == 0 {
+		m.done <- struct{}{}
+		return
+	}
+	next, limit := m.pickNext()
+	next.handoff(limit)
+}
+
+func (t *thread) main() {
+	t.body(newCtx(t, t.await()))
+	t.m.finish(t)
 }
 
 // Clock returns core c's cycle counter.

@@ -194,6 +194,44 @@ func TestAllocFreeChargesCycles(t *testing.T) {
 	m.Run()
 }
 
+func TestResetReproducesFreshMachine(t *testing.T) {
+	workload := func(m *Machine) uint64 {
+		ctr := m.Space.AllocInfra()
+		for i := 0; i < 4; i++ {
+			m.Spawn(func(c *Ctx) {
+				rng := c.Rand()
+				for j := 0; j < 300; j++ {
+					switch rng.Intn(3) {
+					case 0:
+						a := c.AllocNode()
+						c.Write(a, rng.Uint64())
+						c.Free(a)
+					case 1:
+						c.FetchAdd(ctr, 1)
+					default:
+						c.Read(ctr)
+					}
+				}
+			})
+		}
+		m.Run()
+		return m.MaxClock() ^ m.Space.Hash()
+	}
+	cfg := Config{Cores: 4, Seed: 11, Slack: 100}
+	fresh := workload(New(cfg))
+	m := New(Config{Cores: 4, Seed: 999, Slack: 35})
+	workload(m) // dirty the heap, caches, extension, clocks
+	if !m.Reset(cfg) {
+		t.Fatal("Reset rejected a matching geometry")
+	}
+	if got := workload(m); got != fresh {
+		t.Fatalf("reset machine diverged: %#x != fresh %#x", got, fresh)
+	}
+	if m.Reset(Config{Cores: 8, Seed: 11}) {
+		t.Fatal("Reset accepted a different core count")
+	}
+}
+
 func TestManyThreadsDeterministic(t *testing.T) {
 	run := func() uint64 {
 		m := New(Config{Cores: 16, Seed: 10, Slack: 100})
