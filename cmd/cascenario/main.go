@@ -1,0 +1,234 @@
+// cascenario runs phased, role-based, time-varying workload scenarios on
+// the simulator and prints a per-phase breakdown: operations, the phase's
+// simulated wall-clock window, throughput within the window, retries, cache
+// miss rate, and live nodes at the phase boundary. Scenarios come from the
+// built-in presets (-preset, -list) or a JSON file (-file); the binding
+// (structure, schemes, threads, key range, seed) comes from flags.
+//
+// Examples:
+//
+//	cascenario -list                                   # show presets
+//	cascenario -preset read-burst -ds list -schemes ca,rcu
+//	cascenario -preset churn-drain -ds bst -threads 16 -lat
+//	cascenario -preset mixed-role -ds hash -schemes ca,hp,ibr
+//	cascenario -file myscenario.json -ds queue -schemes ca
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"condaccess/internal/bench"
+	"condaccess/internal/scenario"
+)
+
+// options is the parsed command line.
+type options struct {
+	sw      bench.ScenarioWorkload
+	schemes []string
+	lat     bool
+	list    bool
+}
+
+// reportedError marks an error the flag package has already printed to
+// stderr (with usage), so main must not print it a second time.
+type reportedError struct{ err error }
+
+func (e reportedError) Error() string { return e.err.Error() }
+func (e reportedError) Unwrap() error { return e.err }
+
+// parseArgs parses the flag set into a scenario binding, applying the
+// paper's per-structure key-range defaults. Split out of main for
+// testability.
+func parseArgs(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("cascenario", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		preset  = fs.String("preset", "", "built-in scenario name (see -list)")
+		file    = fs.String("file", "", "load scenario from this JSON file")
+		list    = fs.Bool("list", false, "print the built-in scenarios and exit")
+		ds      = fs.String("ds", "list", "data structure: list, bst, hash, stack, queue, hmlist")
+		schemes = fs.String("schemes", "ca,rcu", "comma-separated reclamation schemes")
+		threads = fs.Int("threads", 8, "simulated threads")
+		keys    = fs.Uint64("range", 0, "key range (default: paper's per-structure value)")
+		buckets = fs.Int("buckets", 128, "hash table buckets")
+		seed    = fs.Uint64("seed", 1, "base RNG seed")
+		check   = fs.Bool("check", false, "enable use-after-free and Theorem 6/7 assertions")
+		dist    = fs.String("dist", "uniform", "default key distribution for phases that name none")
+		lat     = fs.Bool("lat", false, "also print per-phase latency percentiles")
+	)
+	if err := fs.Parse(args); err != nil {
+		return options{}, reportedError{err}
+	}
+	if *list {
+		return options{list: true}, nil
+	}
+
+	var sc scenario.Scenario
+	var err error
+	switch {
+	case *preset != "" && *file != "":
+		return options{}, errors.New("-preset and -file are mutually exclusive")
+	case *preset != "":
+		sc, err = scenario.Preset(*preset)
+	case *file != "":
+		sc, err = scenario.Load(*file)
+	default:
+		return options{}, errors.New("one of -preset, -file, or -list is required")
+	}
+	if err != nil {
+		return options{}, err
+	}
+
+	kr := *keys
+	if kr == 0 {
+		kr = 1000 // paper: list, stack, hash use 1K keys
+		if *ds == "bst" {
+			kr = 10000 // paper: extbst uses 10K keys
+		}
+	}
+	schemeList := splitList(*schemes)
+	if len(schemeList) == 0 {
+		return options{}, errors.New("-schemes: empty list")
+	}
+	if min := sc.MinThreads(); *threads < min {
+		return options{}, fmt.Errorf("scenario %q needs at least %d threads (role table)", sc.Name, min)
+	}
+	return options{
+		sw: bench.ScenarioWorkload{
+			DS:       *ds,
+			Threads:  *threads,
+			KeyRange: kr, Buckets: *buckets,
+			Seed: *seed, Check: *check, Dist: *dist,
+			RecordLatency: *lat,
+			Scenario:      sc,
+		},
+		schemes: schemeList,
+		lat:     *lat,
+	}, nil
+}
+
+func main() {
+	opt, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		var rep reportedError
+		if !errors.As(err, &rep) {
+			fmt.Fprintln(os.Stderr, "cascenario:", err)
+		}
+		os.Exit(2)
+	}
+	if opt.list {
+		printPresets(os.Stdout)
+		return
+	}
+	var runner bench.Runner
+	for _, scheme := range opt.schemes {
+		sw := opt.sw
+		sw.Scheme = scheme
+		res, err := runner.RunScenario(sw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cascenario:", err)
+			os.Exit(1)
+		}
+		printResult(os.Stdout, sw, res, opt.lat)
+	}
+}
+
+// printPresets renders the built-in scenario catalog.
+func printPresets(w io.Writer) {
+	for _, name := range scenario.PresetNames() {
+		sc, _ := scenario.Preset(name)
+		fmt.Fprintf(w, "%s\n", name)
+		for _, r := range sc.Roles {
+			n := fmt.Sprintf("%d", r.Count)
+			if r.Count == 0 {
+				n = "rest"
+			}
+			fmt.Fprintf(w, "  role  %-12s x%-4s %s\n", r.Name, n, weightsString(r.Weights))
+		}
+		for _, ph := range sc.Phases {
+			dur := fmt.Sprintf("%d ops", ph.Ops)
+			if ph.Cycles > 0 {
+				dur = fmt.Sprintf("%d cycles", ph.Cycles)
+			}
+			extra := ""
+			if ph.Dist != "" {
+				extra += " dist=" + ph.Dist
+			}
+			if ph.KeyShift != 0 {
+				extra += fmt.Sprintf(" shift=%.2f", ph.KeyShift)
+			}
+			if ph.Profile.Kind != "" && ph.Profile.Kind != scenario.ProfileConstant {
+				extra += " profile=" + ph.Profile.Kind
+			}
+			fmt.Fprintf(w, "  phase %-12s %-10s i%d/d%d/r%d%s\n",
+				ph.Name, dur, ph.Weights.Insert, ph.Weights.Delete, ph.Weights.Read, extra)
+		}
+	}
+}
+
+func weightsString(w *scenario.Weights) string {
+	if w == nil {
+		return "(phase mix)"
+	}
+	return fmt.Sprintf("i%d/d%d/r%d", w.Insert, w.Delete, w.Read)
+}
+
+// printResult renders one scheme's per-phase table.
+func printResult(w io.Writer, sw bench.ScenarioWorkload, res bench.ScenarioResult, lat bool) {
+	fmt.Fprintf(w, "== scenario %s: %s/%s, t=%d, range %d, seed %d ==\n",
+		res.ScenarioName, sw.DS, sw.Scheme, sw.Threads, sw.KeyRange, sw.Seed)
+	fmt.Fprintf(w, "%-14s %8s %10s %10s %8s %7s %7s", "phase", "ops", "cycles", "ops/Mcyc", "retries", "l1miss", "live")
+	if lat {
+		fmt.Fprintf(w, " %7s %7s %8s", "p50", "p99", "max")
+	}
+	fmt.Fprintln(w)
+	row := func(name string, seg bench.PhaseSegment, throughput string) {
+		fmt.Fprintf(w, "%-14s %8d %10d %10s %8d %6.2f%% %7d",
+			name, seg.Ops, seg.Cycles, throughput, seg.Retries, missPct(seg), seg.LiveNodes)
+		if lat {
+			fmt.Fprintf(w, " %7d %7d %8d", seg.Latency.P50, seg.Latency.P99, seg.Latency.Max)
+		}
+		fmt.Fprintln(w)
+	}
+	row("prefill", res.Prefill, "-")
+	for _, seg := range res.Phases {
+		row(seg.Name, seg, fmt.Sprintf("%.1f", seg.Throughput))
+	}
+	// Every total-row column covers the measured run only, like the phase
+	// rows above it (the prefill's share has its own row).
+	total := bench.PhaseSegment{
+		Ops: res.Ops, Cycles: res.Cycles,
+		Retries: res.Retries - res.Prefill.Retries,
+		Cache:   res.MeasuredCache(), LiveNodes: res.Mem.NodeLive(),
+		Latency: res.Latency,
+	}
+	row("total", total, fmt.Sprintf("%.1f", res.Throughput))
+	fmt.Fprintln(w)
+}
+
+// missPct is the segment's L1 miss rate in percent.
+func missPct(seg bench.PhaseSegment) float64 {
+	acc := seg.Cache.L1Hits + seg.Cache.L1Misses
+	if acc == 0 {
+		return 0
+	}
+	return 100 * float64(seg.Cache.L1Misses) / float64(acc)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

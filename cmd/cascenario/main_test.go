@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"condaccess/internal/scenario"
+)
+
+func TestParseArgsPreset(t *testing.T) {
+	opt, err := parseArgs([]string{"-preset", "read-burst"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := opt.sw
+	if sw.DS != "list" || sw.Threads != 8 || sw.KeyRange != 1000 || sw.Seed != 1 || sw.Dist != "uniform" {
+		t.Errorf("unexpected defaults: %+v", sw)
+	}
+	if sw.Scenario.Name != scenario.PresetReadBurst || len(sw.Scenario.Phases) != 3 {
+		t.Errorf("scenario not resolved: %+v", sw.Scenario)
+	}
+	if !reflect.DeepEqual(opt.schemes, []string{"ca", "rcu"}) {
+		t.Errorf("schemes = %v", opt.schemes)
+	}
+}
+
+func TestParseArgsOverrides(t *testing.T) {
+	opt, err := parseArgs([]string{
+		"-preset", "churn-drain", "-ds", "bst", "-schemes", " ca , hp ,",
+		"-threads", "16", "-seed", "7", "-check", "-lat",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := opt.sw
+	if sw.DS != "bst" || sw.Threads != 16 || sw.KeyRange != 10000 || sw.Seed != 7 {
+		t.Errorf("overrides not applied: %+v", sw)
+	}
+	if !sw.Check || !sw.RecordLatency || !opt.lat {
+		t.Error("-check/-lat not applied")
+	}
+	if !reflect.DeepEqual(opt.schemes, []string{"ca", "hp"}) {
+		t.Errorf("schemes = %v (whitespace and empties should be dropped)", opt.schemes)
+	}
+}
+
+func TestParseArgsFile(t *testing.T) {
+	sc := scenario.Scenario{
+		Name:   "custom",
+		Phases: []scenario.Phase{{Name: "p", Ops: 10, Weights: scenario.Weights{Read: 1}}},
+	}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sc.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := parseArgs([]string{"-file", path}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.sw.Scenario.Name != "custom" {
+		t.Errorf("scenario = %+v", opt.sw.Scenario)
+	}
+}
+
+func TestParseArgsRejects(t *testing.T) {
+	cases := map[string][]string{
+		"no source":       nil,
+		"both sources":    {"-preset", "read-burst", "-file", "x.json"},
+		"unknown preset":  {"-preset", "nope"},
+		"missing file":    {"-file", "/definitely/not/here.json"},
+		"empty schemes":   {"-preset", "read-burst", "-schemes", " , "},
+		"too few threads": {"-preset", "mixed-role", "-threads", "2"},
+	}
+	for name, args := range cases {
+		if _, err := parseArgs(args, io.Discard); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseArgsList(t *testing.T) {
+	opt, err := parseArgs([]string{"-list"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.list {
+		t.Fatal("-list not honored")
+	}
+	var buf strings.Builder
+	printPresets(&buf)
+	for _, name := range scenario.PresetNames() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("preset listing missing %s", name)
+		}
+	}
+}
+
+func TestParseArgsBadFlagIsReported(t *testing.T) {
+	var buf strings.Builder
+	_, err := parseArgs([]string{"-threads", "x"}, &buf)
+	if err == nil {
+		t.Fatal("bad -threads accepted")
+	}
+	var rep reportedError
+	if !errors.As(err, &rep) {
+		t.Errorf("flag-package error not marked reported: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("flag package printed nothing to stderr")
+	}
+}
+
+func TestParseArgsHelp(t *testing.T) {
+	_, err := parseArgs([]string{"-h"}, io.Discard)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}

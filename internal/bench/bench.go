@@ -10,6 +10,12 @@
 // contains for the rest. Throughput is reported in operations per million
 // simulated cycles — absolute values are not comparable to the paper's
 // Graphite testbed, but the scheme-vs-scheme shape is.
+//
+// Beyond the paper's stationary mix, the harness executes declarative
+// non-stationary workloads (package scenario) through RunScenario: phased,
+// role-based, time-varying trials reported with exact per-phase segments.
+// The stationary Workload path is itself a lowering onto that engine (see
+// run.go and scenario.go).
 package bench
 
 import (
@@ -135,10 +141,13 @@ type stackOps interface {
 	Peek(c *sim.Ctx) (uint64, bool)
 }
 
-// queueOps is the uniform queue interface.
+// queueOps is the uniform queue interface. Peek is the read-share op for
+// scenario workloads; the stationary lowering keeps the historical
+// dequeue+enqueue pair instead (see progOp).
 type queueOps interface {
 	Enqueue(c *sim.Ctx, key uint64)
 	Dequeue(c *sim.Ctx) (uint64, bool)
+	Peek(c *sim.Ctx) (uint64, bool)
 }
 
 // built bundles a constructed structure with its diagnostics accessors.

@@ -2,9 +2,10 @@ package bench
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"condaccess/internal/cache"
+	"condaccess/internal/scenario"
 	"condaccess/internal/sim"
 )
 
@@ -24,95 +25,50 @@ type Runner struct {
 // measured mixed workload, and collect every statistic the experiments
 // report. It is equivalent to the package-level Run but may reuse a machine
 // from an earlier trial with the same geometry.
+//
+// The stationary Workload is executed by lowering it onto the scenario
+// engine (RunScenario) as the canonical single-phase, uniform-role,
+// constant-intensity scenario. The lowering is bit-for-bit: the compiled
+// program reproduces the historical engine's exact draw and charge sequence,
+// which testdata/golden.json pins.
 func (r *Runner) Run(w Workload) (Result, error) {
 	if err := validate(&w); err != nil {
 		return Result{}, err
 	}
-	cfg := sim.Config{
-		Cores: w.Threads,
-		Seed:  w.Seed,
-		Check: w.Check,
-		Slack: w.Slack,
-	}
-	if w.Cache.Cores != 0 {
-		if w.Cache.Cores != w.Threads {
-			return Result{}, fmt.Errorf("bench: cache params cores %d != threads %d", w.Cache.Cores, w.Threads)
-		}
-		if err := w.Cache.Check(); err != nil {
-			return Result{}, err
-		}
-		cfg.Cache = w.Cache
-	}
-	m := r.acquire(cfg)
-	b, err := build(m, w)
+	sres, err := r.RunScenario(lowerWorkload(w))
 	if err != nil {
 		return Result{}, err
 	}
-
-	res := Result{W: w}
-	res.PrefillSize = prefill(m, w, b)
-	m.ResetClocks()
-
-	// Measured phase.
-	opWork := w.OpWorkCycles
-	if opWork == 0 {
-		opWork = DefaultOpWork
-	}
-	gen, err := newKeygen(w.Dist, w.KeyRange)
-	if err != nil {
-		return Result{}, err
-	}
-	totalOps := 0 // serialized by the simulator: safe plain counter
-	sample := func() {
-		if w.FootprintEvery > 0 && totalOps%w.FootprintEvery == 0 {
-			res.Footprint = append(res.Footprint, FootprintSample{
-				AfterOps: totalOps,
-				Live:     m.Space.Stats().NodeLive(),
-			})
-		}
-	}
-	var lats [][]uint64
-	if w.RecordLatency {
-		lats = make([][]uint64, w.Threads)
-	}
-	for i := 0; i < w.Threads; i++ {
-		m.Spawn(func(c *sim.Ctx) {
-			id := c.ThreadID()
-			rng := c.Rand()
-			for j := 0; j < w.OpsPerThread; j++ {
-				c.Work(opWork)
-				start := c.Clock()
-				doOp(c, w, b, gen, rng)
-				if lats != nil {
-					lats[id] = append(lats[id], c.Clock()-start)
-				}
-				totalOps++
-				sample()
-			}
-		})
-	}
-	m.Run()
-	if lats != nil {
-		var all []uint64
-		for _, l := range lats {
-			all = append(all, l...)
-		}
-		res.Latency = computeLatency(all)
-	}
-
-	res.Ops = uint64(w.Threads) * uint64(w.OpsPerThread)
-	res.Cycles = m.MaxClock()
-	if res.Cycles > 0 {
-		res.Throughput = float64(res.Ops) / (float64(res.Cycles) / 1e6)
-	}
-	res.Retries = b.retries()
-	res.Cache = m.Hier.Stats()
-	res.CA = m.Ext.Stats()
-	if b.rec != nil {
-		res.SMR = b.rec.Stats()
-	}
-	res.Mem = m.Space.Stats()
+	res := sres.Result
+	res.W = w
 	return res, nil
+}
+
+// lowerWorkload expresses a stationary Workload as a scenario: one phase of
+// OpsPerThread ops, the UpdatePct/2 split as an explicit weight table over
+// 100 (insert U/2, delete U-U/2, read 100-U — integer division included),
+// a constant think-time profile, no roles, and the queue's historical
+// dequeue+enqueue read pair.
+func lowerWorkload(w Workload) ScenarioWorkload {
+	u := w.UpdatePct
+	return ScenarioWorkload{
+		DS: w.DS, Scheme: w.Scheme,
+		Threads: w.Threads, KeyRange: w.KeyRange, Buckets: w.Buckets,
+		Seed: w.Seed, Check: w.Check,
+		SMR: w.SMR, Cache: w.Cache, Slack: w.Slack,
+		Dist: w.Dist, FootprintEvery: w.FootprintEvery,
+		RecordLatency: w.RecordLatency,
+		Scenario: scenario.Scenario{
+			Name: "stationary",
+			Phases: []scenario.Phase{{
+				Name:    "measured",
+				Ops:     w.OpsPerThread,
+				Weights: scenario.Weights{Insert: u / 2, Delete: u - u/2, Read: 100 - u},
+				Profile: scenario.Profile{Work: w.OpWorkCycles},
+			}},
+		},
+		legacyQueueRead: true,
+	}
 }
 
 // maxRunnerMachines bounds how many fully-built machines one Runner keeps.
@@ -151,6 +107,9 @@ func Run(w Workload) (Result, error) {
 	return r.Run(w)
 }
 
+// validate rejects malformed workloads up front — including the fields
+// (distribution, scheme, buckets) that historically failed later, mid-build
+// or after the prefill had already run.
 func validate(w *Workload) error {
 	if w.Threads <= 0 || w.Threads > 64 {
 		return fmt.Errorf("bench: threads %d out of [1,64]", w.Threads)
@@ -164,58 +123,38 @@ func validate(w *Workload) error {
 	if w.OpsPerThread <= 0 {
 		return fmt.Errorf("bench: ops per thread must be positive")
 	}
-	known := false
-	for _, s := range Structures() {
-		if s == w.DS {
-			known = true
-		}
+	if w.Buckets < 0 {
+		return fmt.Errorf("bench: buckets %d must be non-negative", w.Buckets)
 	}
-	if !known {
-		return fmt.Errorf("bench: unknown structure %q", w.DS)
+	if err := validDist(w.Dist); err != nil {
+		return err
 	}
-	return nil
+	if err := validDS(w.DS); err != nil {
+		return err
+	}
+	return validScheme(w.Scheme)
 }
 
-// doOp executes one randomly chosen operation. For sets: UpdatePct/2 each of
-// insert and delete, rest contains. For the stack (and queue) the paper's
-// mix maps to push/pop(/peek): equal insert/delete probabilities keep the
-// size stable.
-func doOp(c *sim.Ctx, w Workload, b built, gen keygen, rng *sim.RNG) {
-	p := int(rng.Uint64n(100))
-	key := gen.Next(rng)
-	switch {
-	case b.set != nil:
-		switch {
-		case p < w.UpdatePct/2:
-			b.set.Insert(c, key)
-		case p < w.UpdatePct:
-			b.set.Delete(c, key)
-		default:
-			b.set.Contains(c, key)
-		}
-	case b.stk != nil:
-		switch {
-		case p < w.UpdatePct/2:
-			b.stk.Push(c, key)
-		case p < w.UpdatePct:
-			b.stk.Pop(c)
-		default:
-			b.stk.Peek(c)
-		}
-	default:
-		switch {
-		case p < w.UpdatePct/2:
-			b.que.Enqueue(c, key)
-		case p < w.UpdatePct:
-			b.que.Dequeue(c)
-		default:
-			// Queues have no read-only op; a dequeue+enqueue pair keeps the
-			// size stable for the "read" share.
-			if v, ok := b.que.Dequeue(c); ok {
-				b.que.Enqueue(c, v)
-			}
-		}
+func validDS(ds string) error {
+	if slices.Contains(Structures(), ds) {
+		return nil
 	}
+	return fmt.Errorf("bench: unknown structure %q", ds)
+}
+
+func validScheme(scheme string) error {
+	if slices.Contains(Schemes(), scheme) {
+		return nil
+	}
+	return fmt.Errorf("bench: unknown scheme %q", scheme)
+}
+
+func validDist(dist string) error {
+	switch dist {
+	case "", DistUniform, DistZipf:
+		return nil
+	}
+	return fmt.Errorf("bench: unknown key distribution %q", dist)
 }
 
 // prefill brings the structure to 50% occupancy using thread 0, returning
@@ -259,7 +198,7 @@ func computeLatency(all []uint64) LatencyStats {
 	if len(all) == 0 {
 		return LatencyStats{}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	slices.Sort(all)
 	q := func(p float64) uint64 { return all[int(p*float64(len(all)-1))] }
 	var sum float64
 	for _, v := range all {

@@ -1,0 +1,532 @@
+package bench
+
+import (
+	"fmt"
+
+	"condaccess/internal/cache"
+	"condaccess/internal/scenario"
+	"condaccess/internal/sim"
+	"condaccess/internal/smr"
+)
+
+// ScenarioWorkload binds a declarative scenario to a data structure, a
+// reclamation scheme, and a machine geometry. The scenario supplies the
+// shape of the load (phases, roles, op mixes, intensity profiles); the
+// binding supplies everything the simulator needs to host it. The zero
+// fields default exactly as Workload's do.
+type ScenarioWorkload struct {
+	DS     string
+	Scheme string
+
+	Threads  int
+	KeyRange uint64 // default key window for phases that don't set one
+	Buckets  int    // hash only; 0 means hashtable.DefaultBuckets
+
+	Seed  uint64
+	Check bool
+
+	SMR   smr.Options
+	Cache cache.Params
+	Slack uint64
+
+	// Dist is the default key distribution for phases that don't name one.
+	Dist string
+
+	FootprintEvery int
+	RecordLatency  bool
+
+	Scenario scenario.Scenario
+
+	// legacyQueueRead keeps the queue's read share as the historical
+	// dequeue+enqueue pair instead of the real Peek. Only the Workload
+	// lowering sets it, so the pre-scenario goldens stay reachable
+	// bit-for-bit; declarative scenarios get the genuine front read.
+	legacyQueueRead bool
+}
+
+// PhaseSegment is one phase's slice of a scenario trial: operation count,
+// the phase's wall-clock window, and the deltas of every cumulative counter
+// over that window. Phases are separated by a global barrier (each phase is
+// its own sim Run), so the windows partition the measured run exactly:
+// segment Ops/Cycles/Retries/Cache sum to the trial totals (Retries and
+// Cache on top of the prefill segment's share).
+type PhaseSegment struct {
+	Name       string
+	Ops        uint64      // operations completed in this phase (all threads)
+	Cycles     uint64      // wall-clock window: max core clock advance
+	Throughput float64     // ops per million cycles within the window
+	Retries    uint64      // operation restarts within the window
+	Cache      cache.Stats // cache-event deltas within the window
+	LiveNodes  uint64      // allocated-not-freed nodes at phase end
+	// Latency holds this phase's own percentiles when RecordLatency is set.
+	Latency LatencyStats
+}
+
+// ScenarioResult is a scenario trial: the familiar whole-trial Result plus
+// the per-phase breakdown. Result's totals keep their legacy meaning
+// (Retries and Cache accumulate from the prefill on), so the prefill's share
+// is reported as its own segment: Result = Prefill + sum(Phases) for every
+// delta field, while Ops and Cycles (which legacy accounting already scoped
+// to the measured run) sum over Phases alone.
+type ScenarioResult struct {
+	Result
+	ScenarioName string
+	Prefill      PhaseSegment
+	Phases       []PhaseSegment
+}
+
+// workFn is a compiled intensity profile: per-op think-time cycles as a
+// function of the op index within the phase and the fraction of the phase
+// already elapsed (op fraction for ops-bounded phases, cycle fraction for
+// cycle-bounded ones).
+type workFn func(j int, frac float64) uint64
+
+// segProg is one phase compiled for one role: integer thresholds over the
+// weight total (p < insLim: insert; p < delLim: delete; else read), the
+// phase's key generator and window, and the think-time schedule. The
+// canonical Workload lowering compiles to exactly the draws and charges the
+// stationary engine made, which is what keeps the goldens bit-for-bit.
+type segProg struct {
+	name      string
+	ops       int
+	cycles    uint64
+	insLim    uint64
+	delLim    uint64
+	total     uint64
+	gen       keygen
+	keyOffset uint64
+	keyRange  uint64
+	work      workFn
+	queuePair bool
+}
+
+// scenarioPlan is a compiled scenario: one program per (phase, role), plus
+// the thread-to-role assignment.
+type scenarioPlan struct {
+	progs  [][]segProg // [phase][role]
+	roleOf []int       // [thread] -> role index
+}
+
+// validateScenarioWorkload checks the binding the way validate checks a
+// Workload; scenario-structural checks live in scenario.Validate and the
+// binding-dependent ones in compileScenario.
+func validateScenarioWorkload(sw *ScenarioWorkload) error {
+	if sw.Threads <= 0 || sw.Threads > 64 {
+		return fmt.Errorf("bench: threads %d out of [1,64]", sw.Threads)
+	}
+	if sw.KeyRange == 0 {
+		return fmt.Errorf("bench: key range must be positive")
+	}
+	if sw.Buckets < 0 {
+		return fmt.Errorf("bench: buckets %d must be non-negative", sw.Buckets)
+	}
+	if err := validDist(sw.Dist); err != nil {
+		return err
+	}
+	if err := validDS(sw.DS); err != nil {
+		return err
+	}
+	return validScheme(sw.Scheme)
+}
+
+// compileScenario resolves defaults, checks the scenario against the
+// binding, and compiles every (phase, role) program.
+func compileScenario(sw ScenarioWorkload) (scenarioPlan, error) {
+	sc := &sw.Scenario
+	if err := sc.Validate(); err != nil {
+		return scenarioPlan{}, err
+	}
+
+	// Thread-to-role assignment: roles take threads in declaration order,
+	// a catch-all (Count 0) role absorbing the remainder.
+	roles := sc.Roles
+	if len(roles) == 0 {
+		roles = []scenario.Role{{Name: "uniform"}}
+	}
+	fixed := 0
+	catchAll := -1
+	for i, r := range roles {
+		if r.Count == 0 {
+			catchAll = i
+		}
+		fixed += r.Count
+	}
+	if min := sc.MinThreads(); len(sc.Roles) > 0 && sw.Threads < min {
+		// A catch-all role must get at least one thread: silently running
+		// e.g. mixed-role with zero readers would mislabel the results.
+		return scenarioPlan{}, fmt.Errorf("bench: scenario %q needs at least %d threads (role table), binding has %d",
+			sc.Name, min, sw.Threads)
+	}
+	if catchAll < 0 && fixed != sw.Threads {
+		return scenarioPlan{}, fmt.Errorf("bench: scenario %q role counts total %d, binding has %d threads",
+			sc.Name, fixed, sw.Threads)
+	}
+	roleOf := make([]int, 0, sw.Threads)
+	for i, r := range roles {
+		n := r.Count
+		if i == catchAll {
+			n = sw.Threads - fixed
+		}
+		for t := 0; t < n; t++ {
+			roleOf = append(roleOf, i)
+		}
+	}
+
+	progs := make([][]segProg, len(sc.Phases))
+	for pi, ph := range sc.Phases {
+		dist := ph.Dist
+		if dist == "" {
+			dist = sw.Dist
+		}
+		kr := ph.KeyRange
+		if kr == 0 {
+			kr = sw.KeyRange
+		}
+		gen, err := newKeygen(dist, kr)
+		if err != nil {
+			return scenarioPlan{}, fmt.Errorf("bench: scenario %q phase %d: %w", sc.Name, pi, err)
+		}
+		work, err := compileProfile(ph.Profile)
+		if err != nil {
+			return scenarioPlan{}, fmt.Errorf("bench: scenario %q phase %d: %w", sc.Name, pi, err)
+		}
+		progs[pi] = make([]segProg, len(roles))
+		for ri, role := range roles {
+			w := ph.Weights
+			if role.Weights != nil {
+				w = *role.Weights
+			}
+			progs[pi][ri] = segProg{
+				name:      ph.Name,
+				ops:       ph.Ops,
+				cycles:    ph.Cycles,
+				insLim:    uint64(w.Insert),
+				delLim:    uint64(w.Insert + w.Delete),
+				total:     uint64(w.Total()),
+				gen:       gen,
+				keyOffset: uint64(ph.KeyShift * float64(kr)),
+				keyRange:  kr,
+				work:      work,
+				queuePair: sw.legacyQueueRead,
+			}
+		}
+	}
+	return scenarioPlan{progs: progs, roleOf: roleOf}, nil
+}
+
+// compileProfile turns a declarative intensity profile into a workFn. A
+// zero Work (or ramp endpoint, or burst height) means DefaultOpWork, the
+// same defaulting Workload.OpWorkCycles has always had.
+func compileProfile(p scenario.Profile) (workFn, error) {
+	def := func(v uint64) uint64 {
+		if v == 0 {
+			return DefaultOpWork
+		}
+		return v
+	}
+	base := def(p.Work)
+	switch p.Kind {
+	case "", scenario.ProfileConstant:
+		return func(int, float64) uint64 { return base }, nil
+	case scenario.ProfileRamp:
+		f0, f1 := float64(def(p.From)), float64(def(p.To))
+		return func(_ int, frac float64) uint64 { return uint64(f0 + (f1-f0)*frac) }, nil
+	case scenario.ProfileBurst:
+		burst := def(p.BurstWork)
+		period, ln := p.Period, p.Len
+		return func(j int, _ float64) uint64 {
+			if j%period < ln {
+				return burst
+			}
+			return base
+		}, nil
+	case scenario.ProfilePiecewise:
+		bounds := make([]int, len(p.Steps))
+		works := make([]uint64, len(p.Steps))
+		sum := 0
+		for i, s := range p.Steps {
+			sum += s.Ops
+			bounds[i] = sum
+			works[i] = def(s.Work)
+		}
+		last := works[len(works)-1]
+		return func(j int, _ float64) uint64 {
+			for i, b := range bounds {
+				if j < b {
+					return works[i]
+				}
+			}
+			return last
+		}, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown profile kind %q", p.Kind)
+	}
+}
+
+// RunScenario executes one scenario trial: build, prefill to 50%, reset
+// clocks, then one sim Run phase per scenario phase — the Run boundary is
+// the inter-phase barrier, so per-phase counter deltas are exact. Each
+// thread's workload RNG stream is created once and carried across phases
+// (phases continue the stream; they do not replay it).
+func (r *Runner) RunScenario(sw ScenarioWorkload) (ScenarioResult, error) {
+	if err := validateScenarioWorkload(&sw); err != nil {
+		return ScenarioResult{}, err
+	}
+	plan, err := compileScenario(sw)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	cfg := sim.Config{
+		Cores: sw.Threads,
+		Seed:  sw.Seed,
+		Check: sw.Check,
+		Slack: sw.Slack,
+	}
+	if sw.Cache.Cores != 0 {
+		if sw.Cache.Cores != sw.Threads {
+			return ScenarioResult{}, fmt.Errorf("bench: cache params cores %d != threads %d", sw.Cache.Cores, sw.Threads)
+		}
+		if err := sw.Cache.Check(); err != nil {
+			return ScenarioResult{}, err
+		}
+		cfg.Cache = sw.Cache
+	}
+	m := r.acquire(cfg)
+
+	// wv is the binding rephrased as a Workload for the shared build and
+	// prefill paths (and for Result.W, so Result.String and downstream
+	// reporting keep working; the per-phase fields stay zero).
+	wv := Workload{
+		DS: sw.DS, Scheme: sw.Scheme,
+		Threads: sw.Threads, KeyRange: sw.KeyRange, Buckets: sw.Buckets,
+		Seed: sw.Seed, Check: sw.Check,
+		SMR: sw.SMR, Cache: sw.Cache, Slack: sw.Slack,
+		Dist: sw.Dist, FootprintEvery: sw.FootprintEvery,
+		RecordLatency: sw.RecordLatency,
+	}
+	b, err := build(m, wv)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+
+	sres := ScenarioResult{ScenarioName: sw.Scenario.Name}
+	sres.W = wv
+	sres.PrefillSize = prefill(m, wv, b)
+	sres.Prefill = PhaseSegment{
+		Name:      "prefill",
+		Ops:       uint64(sres.PrefillSize),
+		Cycles:    m.MaxClock(),
+		Retries:   b.retries(),
+		Cache:     m.Hier.Stats(),
+		LiveNodes: m.Space.Stats().NodeLive(),
+	}
+	m.ResetClocks()
+
+	// Per-thread RNG streams. The prefill consumed machine spawn index 0,
+	// so the measured threads run under spawn indices 1..Threads — the
+	// seeding the stationary engine has always had (pinned by the goldens).
+	rngs := make([]*sim.RNG, sw.Threads)
+	for i := range rngs {
+		rngs[i] = sim.ThreadRNG(sw.Seed, 1+i)
+	}
+
+	totalOps := 0 // serialized by the simulator: safe plain counter
+	sample := func() {
+		if sw.FootprintEvery > 0 && totalOps%sw.FootprintEvery == 0 {
+			sres.Footprint = append(sres.Footprint, FootprintSample{
+				AfterOps: totalOps,
+				Live:     m.Space.Stats().NodeLive(),
+			})
+		}
+	}
+
+	var allLats []uint64
+	baseOps := 0
+	baseClock := uint64(0)
+	baseRetries := sres.Prefill.Retries
+	baseCache := sres.Prefill.Cache
+	for pi := range plan.progs {
+		var lats [][]uint64
+		if sw.RecordLatency {
+			lats = make([][]uint64, sw.Threads)
+			for i := range lats {
+				// Ops-bounded phases know their sample count up front; the
+				// hot loop must not grow the slice.
+				lats[i] = make([]uint64, 0, plan.progs[pi][plan.roleOf[i]].ops)
+			}
+		}
+		for i := 0; i < sw.Threads; i++ {
+			prog := &plan.progs[pi][plan.roleOf[i]]
+			rng := rngs[i]
+			var lat *[]uint64
+			if lats != nil {
+				lat = &lats[i]
+			}
+			m.Spawn(func(c *sim.Ctx) {
+				runSegment(c, b, prog, rng, lat, &totalOps, sample)
+			})
+		}
+		m.Run()
+
+		endClock := m.MaxClock()
+		endRetries := b.retries()
+		endCache := m.Hier.Stats()
+		seg := PhaseSegment{
+			Name:      plan.progs[pi][0].name,
+			Ops:       uint64(totalOps - baseOps),
+			Cycles:    endClock - baseClock,
+			Retries:   endRetries - baseRetries,
+			Cache:     subCacheStats(endCache, baseCache),
+			LiveNodes: m.Space.Stats().NodeLive(),
+		}
+		if seg.Cycles > 0 {
+			seg.Throughput = float64(seg.Ops) / (float64(seg.Cycles) / 1e6)
+		}
+		if lats != nil {
+			var phaseAll []uint64
+			for _, l := range lats {
+				phaseAll = append(phaseAll, l...)
+			}
+			seg.Latency = computeLatency(phaseAll)
+			allLats = append(allLats, phaseAll...)
+		}
+		sres.Phases = append(sres.Phases, seg)
+		baseOps, baseClock, baseRetries, baseCache = totalOps, endClock, endRetries, endCache
+	}
+
+	if sw.RecordLatency {
+		sres.Latency = computeLatency(allLats)
+	}
+	sres.Ops = uint64(totalOps)
+	sres.Cycles = m.MaxClock()
+	if sres.Cycles > 0 {
+		sres.Throughput = float64(sres.Ops) / (float64(sres.Cycles) / 1e6)
+	}
+	sres.Retries = b.retries()
+	sres.Cache = m.Hier.Stats()
+	sres.CA = m.Ext.Stats()
+	if b.rec != nil {
+		sres.SMR = b.rec.Stats()
+	}
+	sres.Mem = m.Space.Stats()
+	return sres, nil
+}
+
+// RunScenario executes one scenario trial on a fresh machine.
+func RunScenario(sw ScenarioWorkload) (ScenarioResult, error) {
+	var r Runner
+	return r.RunScenario(sw)
+}
+
+// runSegment is one thread's execution of one phase: think, op, account —
+// the same charge-and-draw sequence per op the stationary engine made, with
+// the phase program supplying thresholds, keys, and think time.
+func runSegment(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG, lat *[]uint64, totalOps *int, sample func()) {
+	if prog.ops > 0 {
+		span := float64(prog.ops)
+		for j := 0; j < prog.ops; j++ {
+			c.Work(prog.work(j, float64(j)/span))
+			start := c.Clock()
+			progOp(c, b, prog, rng)
+			if lat != nil {
+				*lat = append(*lat, c.Clock()-start)
+			}
+			*totalOps++
+			sample()
+		}
+		return
+	}
+	phaseStart := c.Clock()
+	span := float64(prog.cycles)
+	for j := 0; ; j++ {
+		elapsed := c.Clock() - phaseStart
+		if elapsed >= prog.cycles {
+			return
+		}
+		c.Work(prog.work(j, float64(elapsed)/span))
+		start := c.Clock()
+		progOp(c, b, prog, rng)
+		if lat != nil {
+			*lat = append(*lat, c.Clock()-start)
+		}
+		*totalOps++
+		sample()
+	}
+}
+
+// progOp draws and executes one operation under a phase program. The weight
+// thresholds generalize the historical UpdatePct/2 split: lowering a
+// Workload yields insLim=U/2, delLim=U, total=100 — the identical draw and
+// dispatch. For sets the ops are insert/delete/contains; for the stack
+// push/pop/peek; for the queue enqueue/dequeue/peek (or the historical
+// dequeue+enqueue pair when the program says so).
+func progOp(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG) {
+	p := rng.Uint64n(prog.total)
+	key := prog.gen.Next(rng)
+	if prog.keyOffset != 0 {
+		// Rotate the drawn key within the phase window so a skewed
+		// distribution's hot set lands elsewhere (shifting hotspot).
+		key = (key-1+prog.keyOffset)%prog.keyRange + 1
+	}
+	switch {
+	case b.set != nil:
+		switch {
+		case p < prog.insLim:
+			b.set.Insert(c, key)
+		case p < prog.delLim:
+			b.set.Delete(c, key)
+		default:
+			b.set.Contains(c, key)
+		}
+	case b.stk != nil:
+		switch {
+		case p < prog.insLim:
+			b.stk.Push(c, key)
+		case p < prog.delLim:
+			b.stk.Pop(c)
+		default:
+			b.stk.Peek(c)
+		}
+	default:
+		switch {
+		case p < prog.insLim:
+			b.que.Enqueue(c, key)
+		case p < prog.delLim:
+			b.que.Dequeue(c)
+		default:
+			if prog.queuePair {
+				// The historical "read": a dequeue+enqueue pair keeping the
+				// size stable. Reachable only through the Workload lowering,
+				// where the goldens pin it.
+				if v, ok := b.que.Dequeue(c); ok {
+					b.que.Enqueue(c, v)
+				}
+			} else {
+				b.que.Peek(c)
+			}
+		}
+	}
+}
+
+// MeasuredCache returns the cache-event deltas of the measured run alone —
+// the trial totals minus the prefill segment's share, i.e. the quantity the
+// per-phase segments sum to.
+func (r ScenarioResult) MeasuredCache() cache.Stats {
+	return subCacheStats(r.Cache, r.Prefill.Cache)
+}
+
+// subCacheStats returns the componentwise difference a-b of two cumulative
+// cache counters.
+func subCacheStats(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		L1Hits:        a.L1Hits - b.L1Hits,
+		L1Misses:      a.L1Misses - b.L1Misses,
+		L2Hits:        a.L2Hits - b.L2Hits,
+		L2Misses:      a.L2Misses - b.L2Misses,
+		Invalidations: a.Invalidations - b.Invalidations,
+		RemoteFwds:    a.RemoteFwds - b.RemoteFwds,
+		Upgrades:      a.Upgrades - b.Upgrades,
+		L1Evictions:   a.L1Evictions - b.L1Evictions,
+		BackInvals:    a.BackInvals - b.BackInvals,
+	}
+}

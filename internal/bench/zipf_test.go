@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -65,6 +66,71 @@ func TestZipfIsSkewed(t *testing.T) {
 	// But the tail must still be covered.
 	if len(counts) < 500 {
 		t.Fatalf("only %d distinct keys in 200k draws", len(counts))
+	}
+}
+
+// TestZipfDeterministicAcrossRuns: the generator must be a pure function of
+// (params, rng stream) — independently constructed generators fed equally
+// seeded RNGs produce the identical key sequence, which is what makes
+// zipfian trials (and their goldens) reproducible.
+func TestZipfDeterministicAcrossRuns(t *testing.T) {
+	const n, draws = 777, 2000
+	g1 := newZipfGen(n, ZipfTheta)
+	g2 := newZipfGen(n, ZipfTheta)
+	r1, r2 := sim.NewRNG(9), sim.NewRNG(9)
+	for i := 0; i < draws; i++ {
+		a, b := g1.Next(r1), g2.Next(r2)
+		if a != b {
+			t.Fatalf("draw %d: %d != %d — generator not deterministic", i, a, b)
+		}
+	}
+	// A differently seeded stream must diverge (the draws depend on the RNG,
+	// not on hidden generator state).
+	r3 := sim.NewRNG(10)
+	same := 0
+	r1b := sim.NewRNG(9)
+	for i := 0; i < draws; i++ {
+		if g1.Next(r1b) == g2.Next(r3) {
+			same++
+		}
+	}
+	if same == draws {
+		t.Fatal("different seeds produced the identical sequence")
+	}
+}
+
+// TestZipfHotKeyMass: for theta 0.99 over 1000 keys, the 10 hottest keys
+// analytically absorb ~39% of the draws (H_{10,theta}/H_{1000,theta});
+// check the empirical mass lands in a generous band around it, and that the
+// scatter hash keeps those hot keys from being range neighbors.
+func TestZipfHotKeyMass(t *testing.T) {
+	const n, draws = 1000, 200000
+	g := newZipfGen(n, ZipfTheta)
+	rng := sim.NewRNG(12345)
+	counts := map[uint64]int{}
+	for i := 0; i < draws; i++ {
+		counts[g.Next(rng)]++
+	}
+	type kc struct {
+		k uint64
+		c int
+	}
+	var all []kc
+	for k, c := range counts {
+		all = append(all, kc{k, c})
+	}
+	slices.SortFunc(all, func(a, b kc) int { return b.c - a.c })
+	top10 := 0
+	for _, e := range all[:10] {
+		top10 += e.c
+	}
+	mass := float64(top10) / draws
+	if mass < 0.30 || mass > 0.50 {
+		t.Errorf("top-10 mass = %.3f, want ~0.39 (in [0.30, 0.50])", mass)
+	}
+	// Scattered hot keys: the two hottest ranks must not be adjacent keys.
+	if d := int64(all[0].k) - int64(all[1].k); d == 1 || d == -1 {
+		t.Errorf("two hottest keys %d and %d are neighbors — rank scatter broken", all[0].k, all[1].k)
 	}
 }
 

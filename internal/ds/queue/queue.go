@@ -135,6 +135,43 @@ func (q *CA) Dequeue(c *sim.Ctx) (key uint64, ok bool) {
 	}
 }
 
+// Peek returns the oldest key without removing it — a genuine front read:
+// two creads down the head chain and no writes, so (unlike the historical
+// dequeue+enqueue pair the stationary harness used for the queue's read
+// share) it cannot contend with other threads' linearization points.
+// ok=false means the queue was empty.
+func (q *CA) Peek(c *sim.Ctx) (key uint64, ok bool) {
+	for spins := 0; ; spins++ {
+		if spins > core.MaxSpuriousRetries {
+			panic(core.ErrLivelock("queue.Peek"))
+		}
+		h, ok := c.CRead(q.headAddr) // tags the head-pointer line
+		if !ok {
+			q.Retries++
+			c.UntagAll()
+			continue
+		}
+		next, ok := c.CRead(h + layout.OffNext) // tags node h
+		if !ok {
+			q.Retries++
+			c.UntagAll()
+			continue
+		}
+		if next == 0 {
+			c.UntagAll()
+			return 0, false
+		}
+		key, ok = c.CRead(next + layout.OffKey)
+		if !ok {
+			q.Retries++
+			c.UntagAll()
+			continue
+		}
+		c.UntagAll()
+		return key, true
+	}
+}
+
 // Guarded is the classic Michael–Scott queue with deferred reclamation.
 type Guarded struct {
 	headAddr mem.Addr
@@ -220,6 +257,39 @@ func (q *Guarded) Dequeue(c *sim.Ctx) (key uint64, ok bool) {
 			return key, true
 		}
 		q.Retries++
+	}
+}
+
+// Peek returns the oldest key without removing it; ok=false means the queue
+// was empty. Protection mirrors Dequeue's: the head node and its successor
+// are both protected before the successor's key is read.
+func (q *Guarded) Peek(c *sim.Ctx) (key uint64, ok bool) {
+	q.r.BeginOp(c)
+	defer q.r.EndOp(c)
+	for {
+		h := c.Read(q.headAddr)
+		if !q.r.Protect(c, 0, h, q.headAddr) {
+			q.Retries++
+			continue
+		}
+		next := c.Read(h + layout.OffNext)
+		if c.Read(q.headAddr) != h {
+			q.Retries++
+			continue
+		}
+		if next == 0 {
+			return 0, false
+		}
+		if !q.r.Protect(c, 1, next, h+layout.OffNext) {
+			q.Retries++
+			continue
+		}
+		key = c.Read(next + layout.OffKey)
+		if c.Read(q.headAddr) != h {
+			q.Retries++
+			continue
+		}
+		return key, true
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 type queueIface interface {
 	Enqueue(c *sim.Ctx, key uint64)
 	Dequeue(c *sim.Ctx) (uint64, bool)
+	Peek(c *sim.Ctx) (uint64, bool)
 }
 
 func TestCASequentialFIFO(t *testing.T) {
@@ -61,6 +62,101 @@ func TestGuardedSequentialFIFOAllSchemes(t *testing.T) {
 				}
 			})
 			m.Run()
+		})
+	}
+}
+
+// testPeekSequential drives either variant through the Peek contract:
+// empty-queue misses, agreement with the next Dequeue, and no side effects
+// (peeking must not consume, reorder, or allocate).
+func testPeekSequential(t *testing.T, m *sim.Machine, q queueIface) {
+	t.Helper()
+	m.Spawn(func(c *sim.Ctx) {
+		if _, ok := q.Peek(c); ok {
+			t.Error("peek on empty queue succeeded")
+		}
+		for k := uint64(1); k <= 10; k++ {
+			q.Enqueue(c, k)
+		}
+		for k := uint64(1); k <= 10; k++ {
+			for i := 0; i < 3; i++ { // repeated peeks must not consume
+				if got, ok := q.Peek(c); !ok || got != k {
+					t.Errorf("peek = %d,%v, want %d,true", got, ok, k)
+				}
+			}
+			if got, ok := q.Dequeue(c); !ok || got != k {
+				t.Errorf("dequeue after peek = %d,%v, want %d,true", got, ok, k)
+			}
+		}
+		if _, ok := q.Peek(c); ok {
+			t.Error("peek on drained queue succeeded")
+		}
+	})
+	m.Run()
+}
+
+func TestCAPeek(t *testing.T) {
+	m := sim.New(sim.Config{Cores: 1, Seed: 5, Check: true})
+	q := NewCA(m.Space)
+	testPeekSequential(t, m, q)
+	if st := m.Space.Stats(); st.NodeLive() != 1 {
+		t.Fatalf("live nodes = %d, want 1 (dummy)", st.NodeLive())
+	}
+}
+
+func TestGuardedPeekAllSchemes(t *testing.T) {
+	for _, name := range smr.Names() {
+		t.Run(name, func(t *testing.T) {
+			m := sim.New(sim.Config{Cores: 1, Seed: 6, Check: true})
+			r, err := smr.New(name, m.Space, 1, smr.Options{ReclaimEvery: 4, EpochEvery: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			testPeekSequential(t, m, NewGuarded(m.Space, r))
+		})
+	}
+}
+
+// TestPeekConcurrent mixes peekers among producers/consumers under Check
+// mode: peeks must only ever observe a key some producer enqueued, and the
+// queue must stay conservation-correct (runMixed's own checks) with peeks
+// in flight.
+func TestPeekConcurrent(t *testing.T) {
+	const stamp = 1 << 32
+	run := func(t *testing.T, m *sim.Machine, q queueIface) {
+		for i := 0; i < 4; i++ {
+			m.Spawn(func(c *sim.Ctx) {
+				id := c.ThreadID()
+				var seq uint64
+				for j := 0; j < 300; j++ {
+					switch j % 3 {
+					case 0:
+						seq++
+						q.Enqueue(c, uint64(id)*stamp+seq)
+					case 1:
+						q.Dequeue(c)
+					default:
+						if v, ok := q.Peek(c); ok && v%stamp == 0 {
+							t.Errorf("peek observed impossible key %d", v)
+						}
+					}
+				}
+			})
+		}
+		m.Run()
+	}
+	t.Run("ca", func(t *testing.T) {
+		m := sim.New(sim.Config{Cores: 4, Seed: 7, Check: true})
+		run(t, m, NewCA(m.Space))
+	})
+	for _, name := range smr.Names() {
+		t.Run(name, func(t *testing.T) {
+			m := sim.New(sim.Config{Cores: 4, Seed: 8, Check: true})
+			r, err := smr.New(name, m.Space, 4, smr.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run(t, m, NewGuarded(m.Space, r))
 		})
 	}
 }

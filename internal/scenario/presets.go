@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Preset scenario names. Each models a workload family the stationary
+// harness cannot express; all are thread-count agnostic (role tables use a
+// catch-all) and scale their durations with the binding's ops budget.
+const (
+	PresetReadBurst    = "read-burst"
+	PresetHotspotShift = "hotspot-shift"
+	PresetChurnDrain   = "churn-drain"
+	PresetRampUp       = "ramp-up"
+	PresetMixedRole    = "mixed-role"
+)
+
+// Presets returns the built-in scenarios, keyed by name.
+//
+//   - read-burst: a read-mostly steady state interrupted by a write burst
+//     with bursty think time, then a cooldown — where batch reclaimers
+//     accumulate garbage fastest right when latency matters.
+//   - hotspot-shift: three zipfian phases whose hot set rotates by a third
+//     of the key range each phase, so caches and reclaimers keep re-warming.
+//   - churn-drain: 100% updates, with a piecewise think-time schedule that
+//     accelerates mid-phase, followed by a delete-heavy drain that empties
+//     the structure — the footprint stress case.
+//   - ramp-up: think time ramps from lazy to saturating over the phase, the
+//     inhomogeneous-intensity (ramping arrival rate) case, then holds.
+//   - mixed-role: 2 dedicated writers and 1 insert/delete churner against a
+//     reader majority — threads are not interchangeable.
+func Presets() map[string]Scenario {
+	return map[string]Scenario{
+		PresetReadBurst: {
+			Name: PresetReadBurst,
+			Phases: []Phase{
+				{Name: "read-mostly", Ops: 500, Weights: Weights{Insert: 5, Delete: 5, Read: 90}},
+				{Name: "write-burst", Ops: 250, Weights: Weights{Insert: 45, Delete: 45, Read: 10},
+					Profile: Profile{Kind: ProfileBurst, Period: 50, Len: 20, Work: 40, BurstWork: 2}},
+				{Name: "cooldown", Ops: 250, Weights: Weights{Insert: 5, Delete: 5, Read: 90}},
+			},
+		},
+		PresetHotspotShift: {
+			Name: PresetHotspotShift,
+			Phases: []Phase{
+				{Name: "hot-low", Ops: 300, Dist: "zipf", Weights: Weights{Insert: 15, Delete: 15, Read: 70}},
+				{Name: "hot-mid", Ops: 300, Dist: "zipf", KeyShift: 1.0 / 3,
+					Weights: Weights{Insert: 15, Delete: 15, Read: 70}},
+				{Name: "hot-high", Ops: 300, Dist: "zipf", KeyShift: 2.0 / 3,
+					Weights: Weights{Insert: 15, Delete: 15, Read: 70}},
+			},
+		},
+		PresetChurnDrain: {
+			Name: PresetChurnDrain,
+			Phases: []Phase{
+				{Name: "churn", Ops: 500, Weights: Weights{Insert: 50, Delete: 50},
+					Profile: Profile{Kind: ProfilePiecewise, Steps: []Step{
+						{Ops: 200, Work: 30}, {Ops: 200, Work: 5}, {Ops: 100, Work: 30},
+					}}},
+				{Name: "drain", Ops: 400, Weights: Weights{Insert: 5, Delete: 75, Read: 20}},
+			},
+		},
+		PresetRampUp: {
+			Name: PresetRampUp,
+			Phases: []Phase{
+				{Name: "ramp", Ops: 600, Weights: Weights{Insert: 25, Delete: 25, Read: 50},
+					Profile: Profile{Kind: ProfileRamp, From: 120, To: 5}},
+				{Name: "saturated", Ops: 300, Weights: Weights{Insert: 25, Delete: 25, Read: 50},
+					Profile: Profile{Kind: ProfileConstant, Work: 5}},
+			},
+		},
+		PresetMixedRole: {
+			Name: PresetMixedRole,
+			Roles: []Role{
+				{Name: "writer", Count: 2, Weights: &Weights{Insert: 45, Delete: 45, Read: 10}},
+				{Name: "churner", Count: 1, Weights: &Weights{Insert: 50, Delete: 50}},
+				{Name: "reader", Count: 0, Weights: &Weights{Read: 100}},
+			},
+			Phases: []Phase{
+				{Name: "steady", Ops: 500, Weights: Weights{Insert: 10, Delete: 10, Read: 80}},
+				{Name: "contended", Ops: 400, Dist: "zipf", Weights: Weights{Insert: 10, Delete: 10, Read: 80}},
+			},
+		},
+	}
+}
+
+// PresetNames returns the preset names in sorted order.
+func PresetNames() []string {
+	m := Presets()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns the named built-in scenario.
+func Preset(name string) (Scenario, error) {
+	s, ok := Presets()[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return s, nil
+}

@@ -27,7 +27,7 @@ func newCtx(t *thread, limit uint64) *Ctx {
 		m:     t.m,
 		clock: &t.m.clocks[t.c],
 		limit: limit,
-		rng:   NewRNG(t.m.cfg.Seed + uint64(t.id)*0x9E3779B97F4A7C15 + 1),
+		rng:   ThreadRNG(t.m.cfg.Seed, t.id),
 	}
 }
 

@@ -24,6 +24,15 @@ func (r *RNG) Uint64() uint64 {
 	return s * 0x2545F4914F6CDD1D
 }
 
+// ThreadRNG returns the deterministic workload RNG a thread with the given
+// machine-wide spawn index executes under (the generator Ctx.Rand exposes).
+// Harnesses that must carry a thread's random stream across several Run
+// phases — the scenario engine runs one Run phase per workload phase —
+// construct the stream once with this instead of re-deriving it per phase.
+func ThreadRNG(seed uint64, spawnIndex int) *RNG {
+	return NewRNG(seed + uint64(spawnIndex)*0x9E3779B97F4A7C15 + 1)
+}
+
 // Uint64n returns a value uniform in [0, n). n must be > 0.
 func (r *RNG) Uint64n(n uint64) uint64 {
 	if n == 0 {
