@@ -12,6 +12,7 @@
 //	cabench -ds stack                                           # Figure 2 bottom
 //	cabench -ds list -schemes ca,rcu -check                     # with safety assertions
 //	cabench -ds list -trials 3 -workers 8                       # parallel trial execution
+//	cabench -ds list -trials 3 -store results/store             # warm cells skip simulation
 package main
 
 import (
@@ -25,13 +26,15 @@ import (
 	"strings"
 
 	"condaccess/internal/bench"
+	"condaccess/internal/lab"
 )
 
 // options is the parsed command line.
 type options struct {
-	cfg     bench.SweepConfig
-	csvPath string
-	verbose bool
+	cfg       bench.SweepConfig
+	csvPath   string
+	storePath string
+	verbose   bool
 }
 
 // reportedError marks an error the flag package has already printed to
@@ -59,6 +62,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (1: sequential)")
 		check   = fs.Bool("check", false, "enable use-after-free and Theorem 6/7 assertions")
 		csvPath = fs.String("csv", "", "also write long-form CSV to this file")
+		store   = fs.String("store", "", "content-addressed result store directory (warm cells skip simulation)")
 		verbose = fs.Bool("v", false, "print each point as it completes")
 		dist    = fs.String("dist", "uniform", "key distribution: uniform or zipf")
 		lat     = fs.Bool("lat", false, "also print per-point latency percentiles")
@@ -93,8 +97,9 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 			Seed: *seed, Check: *check, Trials: *trials, Workers: *workers,
 			Dist: *dist, RecordLatency: *lat,
 		},
-		csvPath: *csvPath,
-		verbose: *verbose,
+		csvPath:   *csvPath,
+		storePath: *store,
+		verbose:   *verbose,
 	}, nil
 }
 
@@ -111,6 +116,16 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := opt.cfg
+	var store *lab.Store
+	if opt.storePath != "" {
+		st, err := lab.Open(opt.storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cabench:", err)
+			os.Exit(1)
+		}
+		store = st
+		cfg.Store = st
+	}
 	lat := cfg.RecordLatency
 	var progress func(bench.SweepPoint)
 	if opt.verbose || lat {
@@ -131,6 +146,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cabench:", err)
 		os.Exit(1)
+	}
+	if store != nil {
+		fmt.Fprintln(os.Stderr, store.Stats())
 	}
 	for _, u := range cfg.Updates {
 		fmt.Printf("== %s, %d%% updates (%di-%dd), %d keys, %d ops/thread [ops/Mcyc] ==\n",

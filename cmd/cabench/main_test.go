@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+
+	"condaccess/internal/lab"
 )
 
 func TestParseArgsDefaults(t *testing.T) {
@@ -80,5 +82,34 @@ func TestParseArgsErrors(t *testing.T) {
 		if _, err := parseArgs(args, io.Discard); err == nil {
 			t.Errorf("args %v accepted, want error", args)
 		}
+	}
+}
+
+func TestParseArgsStoreFlag(t *testing.T) {
+	opt, err := parseArgs([]string{"-store", "results/store"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.storePath != "results/store" {
+		t.Errorf("storePath = %q, want results/store", opt.storePath)
+	}
+	opt, err = parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.storePath != "" {
+		t.Errorf("default storePath = %q, want empty (no store)", opt.storePath)
+	}
+}
+
+// TestStoreSummaryLine pins the stderr traffic line the CI smoke greps for.
+func TestStoreSummaryLine(t *testing.T) {
+	got := lab.StoreStats{Hits: 8, Misses: 0}.String()
+	if got != "store: 8 hits, 0 misses (100% warm)" {
+		t.Errorf("warm summary = %q", got)
+	}
+	got = lab.StoreStats{Hits: 0, Misses: 8}.String()
+	if got != "store: 0 hits, 8 misses (0% warm)" {
+		t.Errorf("cold summary = %q", got)
 	}
 }

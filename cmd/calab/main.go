@@ -1,0 +1,288 @@
+// calab manages experiment-lab result stores: the persistent,
+// content-addressed trial caches that cabench/cascenario/figures/camem fill
+// through their -store flag.
+//
+//	calab inspect -store DIR            # engine tags, entry counts, per-cell replication statistics
+//	calab diff -a DIRA -b DIRB          # cross-run A/B: speedup per cell, CI-overlap significance
+//	calab gc -store DIR [-all]          # drop entries from other engine versions (or everything)
+//	calab export -store DIR [-csv F]    # long-form CSV of every trial entry
+//	calab verify -store DIR             # integrity: content addresses and payload fingerprints
+//
+// Entries are keyed by the engine tag (a digest of the golden files pinning
+// the engine's output), so results from different engine versions never mix:
+// inspect reports foreign-tag entries, gc collects them, and diff is the
+// tool that deliberately compares across them.
+package main
+
+import (
+	"encoding/csv"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"condaccess/internal/lab"
+)
+
+// options is the parsed command line.
+type options struct {
+	cmd     string
+	store   string // inspect, gc, export, verify
+	a, b    string // diff
+	all     bool   // gc
+	csvPath string // export; empty writes to stdout
+}
+
+// reportedError marks an error the flag package has already printed to
+// stderr (with usage), so main must not print it a second time.
+type reportedError struct{ err error }
+
+func (e reportedError) Error() string { return e.err.Error() }
+func (e reportedError) Unwrap() error { return e.err }
+
+const usageText = "usage: calab <inspect|diff|gc|export|verify> [flags]\n"
+
+// parseArgs parses the subcommand and its flag set. Split out of main for
+// testability.
+func parseArgs(args []string, stderr io.Writer) (options, error) {
+	if len(args) == 0 {
+		fmt.Fprint(stderr, usageText)
+		return options{}, reportedError{errors.New("missing subcommand")}
+	}
+	opt := options{cmd: args[0]}
+	fs := flag.NewFlagSet("calab "+opt.cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeFlag := func() *string { return fs.String("store", "", "result store directory (required)") }
+	var store, a, b, csvPath *string
+	var all *bool
+	switch opt.cmd {
+	case "inspect", "verify":
+		store = storeFlag()
+	case "gc":
+		store = storeFlag()
+		all = fs.Bool("all", false, "remove every entry, not just foreign-engine ones")
+	case "export":
+		store = storeFlag()
+		csvPath = fs.String("csv", "", "write CSV here instead of stdout")
+	case "diff":
+		a = fs.String("a", "", "baseline store directory (required)")
+		b = fs.String("b", "", "candidate store directory (required)")
+	case "-h", "-help", "--help", "help":
+		fmt.Fprint(stderr, usageText)
+		return options{}, reportedError{flag.ErrHelp}
+	default:
+		fmt.Fprint(stderr, usageText)
+		return options{}, reportedError{fmt.Errorf("unknown subcommand %q", opt.cmd)}
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		return options{}, reportedError{err}
+	}
+	if store != nil {
+		if *store == "" {
+			return options{}, fmt.Errorf("%s: -store is required", opt.cmd)
+		}
+		opt.store = *store
+	}
+	if a != nil {
+		if *a == "" || *b == "" {
+			return options{}, errors.New("diff: both -a and -b are required")
+		}
+		opt.a, opt.b = *a, *b
+	}
+	if all != nil {
+		opt.all = *all
+	}
+	if csvPath != nil {
+		opt.csvPath = *csvPath
+	}
+	return opt, nil
+}
+
+func main() {
+	opt, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		var rep reportedError
+		if !errors.As(err, &rep) {
+			fmt.Fprintln(os.Stderr, "calab:", err)
+		}
+		os.Exit(2)
+	}
+	if err := run(opt, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "calab:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches a parsed command, writing its report to out.
+func run(opt options, out io.Writer) error {
+	switch opt.cmd {
+	case "inspect":
+		return inspect(opt.store, out)
+	case "verify":
+		return verify(opt.store, out)
+	case "gc":
+		return gc(opt.store, opt.all, out)
+	case "export":
+		return export(opt.store, opt.csvPath, out)
+	case "diff":
+		return diff(opt.a, opt.b, out)
+	}
+	return fmt.Errorf("unknown subcommand %q", opt.cmd)
+}
+
+func inspect(dir string, out io.Writer) error {
+	st, err := lab.OpenExisting(dir)
+	if err != nil {
+		return err
+	}
+	entries, err := st.Entries()
+	if err != nil {
+		return err
+	}
+	var trials, scenarios, foreign int
+	var current []lab.Entry
+	for _, e := range entries {
+		if e.Tag != st.Tag() {
+			foreign++
+			continue
+		}
+		current = append(current, e)
+		if e.Kind == lab.KindTrial {
+			trials++
+		} else {
+			scenarios++
+		}
+	}
+	fmt.Fprintf(out, "store %s (engine %s): %d trial + %d scenario entries",
+		dir, st.Tag(), trials, scenarios)
+	if foreign > 0 {
+		fmt.Fprintf(out, ", %d foreign-engine (calab gc collects them)", foreign)
+	}
+	fmt.Fprintln(out)
+	if len(current) > 0 {
+		fmt.Fprint(out, lab.FormatCells(lab.Cells(current)))
+	}
+	return nil
+}
+
+func verify(dir string, out io.Writer) error {
+	st, err := lab.OpenExisting(dir)
+	if err != nil {
+		return err
+	}
+	sound, problems, err := st.Verify()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d sound entries, %d problems\n", sound, len(problems))
+	for _, p := range problems {
+		fmt.Fprintf(out, "  %s: %s\n", p.Path, p.Reason)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%d corrupt entries (re-running the experiments repairs them)", len(problems))
+	}
+	return nil
+}
+
+func gc(dir string, all bool, out io.Writer) error {
+	st, err := lab.OpenExisting(dir)
+	if err != nil {
+		return err
+	}
+	removed, kept, err := st.GC(all)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "removed %d entries, kept %d\n", removed, kept)
+	return nil
+}
+
+func export(dir, csvPath string, out io.Writer) error {
+	st, err := lab.OpenExisting(dir)
+	if err != nil {
+		return err
+	}
+	entries, err := st.Entries()
+	if err != nil {
+		return err
+	}
+	w := out
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	// encoding/csv quotes as needed: scenario names come from user JSON and
+	// may contain commas.
+	cw := csv.NewWriter(w)
+	if err := cw.Write(strings.Split("kind,ds,scheme,threads,update_pct,scenario,key_range,ops,dist,seed,ops_per_mcyc,retries,live_nodes,tag,key", ",")); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		var rec []string
+		if e.Kind == lab.KindTrial {
+			wl, res := e.Workload, e.Result
+			rec = []string{
+				e.Kind, wl.DS, wl.Scheme, itoa(wl.Threads), itoa(wl.UpdatePct), "",
+				utoa(wl.KeyRange), itoa(wl.OpsPerThread), wl.Dist, utoa(wl.Seed),
+				fmt.Sprintf("%.2f", res.Throughput), utoa(res.Retries), utoa(res.Mem.NodeLive()), e.Tag, e.Key,
+			}
+		} else {
+			sw, res := e.Scenario, e.ScenarioResult
+			rec = []string{
+				e.Kind, sw.DS, sw.Scheme, itoa(sw.Threads), "", sw.Scenario.Name,
+				utoa(sw.KeyRange), "", sw.Dist, utoa(sw.Seed),
+				fmt.Sprintf("%.2f", res.Throughput), utoa(res.Retries), utoa(res.Mem.NodeLive()), e.Tag, e.Key,
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(n int) string    { return strconv.Itoa(n) }
+func utoa(n uint64) string { return strconv.FormatUint(n, 10) }
+
+func diff(dirA, dirB string, out io.Writer) error {
+	cellsOf := func(dir string) ([]lab.Cell, error) {
+		st, err := lab.OpenExisting(dir)
+		if err != nil {
+			return nil, err
+		}
+		return lab.SnapshotCells(st)
+	}
+	a, err := cellsOf(dirA)
+	if err != nil {
+		return err
+	}
+	b, err := cellsOf(dirB)
+	if err != nil {
+		return err
+	}
+	rows, onlyA, onlyB := lab.Diff(a, b)
+	if len(rows) == 0 && len(onlyA) == 0 && len(onlyB) == 0 {
+		return errors.New("both stores are empty")
+	}
+	fmt.Fprintf(out, "A = %s, B = %s; * marks disjoint 95%% CIs (significant), ~ within noise\n", dirA, dirB)
+	fmt.Fprint(out, lab.FormatDiff(rows, onlyA, onlyB))
+	var significant int
+	for _, r := range rows {
+		if r.Significant {
+			significant++
+		}
+	}
+	fmt.Fprintf(out, "%d aligned cells, %d significant differences\n", len(rows), significant)
+	return nil
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/csv"
+	"errors"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"condaccess/internal/bench"
+	"condaccess/internal/lab"
+	"condaccess/internal/scenario"
+)
+
+func TestParseArgsSubcommands(t *testing.T) {
+	cases := []struct {
+		args []string
+		want options
+	}{
+		{[]string{"inspect", "-store", "d"}, options{cmd: "inspect", store: "d"}},
+		{[]string{"verify", "-store", "d"}, options{cmd: "verify", store: "d"}},
+		{[]string{"gc", "-store", "d", "-all"}, options{cmd: "gc", store: "d", all: true}},
+		{[]string{"gc", "-store", "d"}, options{cmd: "gc", store: "d"}},
+		{[]string{"export", "-store", "d", "-csv", "out.csv"}, options{cmd: "export", store: "d", csvPath: "out.csv"}},
+		{[]string{"diff", "-a", "x", "-b", "y"}, options{cmd: "diff", a: "x", b: "y"}},
+	}
+	for _, tc := range cases {
+		opt, err := parseArgs(tc.args, io.Discard)
+		if err != nil {
+			t.Errorf("%v: %v", tc.args, err)
+			continue
+		}
+		if opt != tc.want {
+			t.Errorf("%v: parsed %+v, want %+v", tc.args, opt, tc.want)
+		}
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	cases := [][]string{
+		nil,                        // missing subcommand
+		{"nosuchcmd"},              // unknown subcommand
+		{"inspect"},                // missing -store
+		{"gc"},                     // missing -store
+		{"diff", "-a", "x"},        // missing -b
+		{"diff", "-b", "y"},        // missing -a
+		{"inspect", "-nosuchflag"}, // flag error
+	}
+	for _, args := range cases {
+		if _, err := parseArgs(args, io.Discard); err == nil {
+			t.Errorf("%v: accepted, want error", args)
+		}
+	}
+}
+
+func TestParseArgsHelp(t *testing.T) {
+	var buf strings.Builder
+	_, err := parseArgs([]string{"help"}, &buf)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("help returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(buf.String(), "usage: calab") {
+		t.Error("help printed no usage")
+	}
+}
+
+// TestReadCommandsRejectMissingStore: a typo'd -store path must be an
+// error, not a freshly created empty store reporting zero entries.
+func TestReadCommandsRejectMissingStore(t *testing.T) {
+	missing := t.TempDir() + "/nosuchstore"
+	for _, opt := range []options{
+		{cmd: "inspect", store: missing},
+		{cmd: "verify", store: missing},
+		{cmd: "gc", store: missing},
+		{cmd: "export", store: missing},
+		{cmd: "diff", a: missing, b: missing},
+	} {
+		if err := run(opt, io.Discard); err == nil {
+			t.Errorf("%s: missing store accepted", opt.cmd)
+		}
+	}
+}
+
+// TestExportQuotesCommas: scenario names come from user JSON and may
+// contain commas; export must emit parseable CSV regardless.
+func TestExportQuotesCommas(t *testing.T) {
+	dir := t.TempDir()
+	st, err := lab.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Preset("read-burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Name = "spike, then drain"
+	r := bench.Runner{Store: st}
+	if _, err := r.RunScenario(bench.ScenarioWorkload{
+		DS: "list", Scheme: "ca", Threads: 2, KeyRange: 32, Seed: 1, Scenario: sc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(options{cmd: "export", store: dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("export emitted unparseable CSV: %v\n%s", err, out.String())
+	}
+	if len(recs) != 2 || len(recs[1]) != len(recs[0]) {
+		t.Fatalf("rows/columns off: %v", recs)
+	}
+	if recs[1][5] != "spike, then drain" {
+		t.Fatalf("scenario column = %q, want the comma'd name intact", recs[1][5])
+	}
+}
+
+// fillStore runs one tiny sweep into a fresh store at dir.
+func fillStore(t *testing.T, dir string) {
+	t.Helper()
+	st, err := lab.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.Sweep(bench.SweepConfig{
+		DS: "list", Schemes: []string{"ca"}, Threads: []int{2}, Updates: []int{100},
+		KeyRange: 32, Ops: 50, Seed: 9, Trials: 2, Store: st,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommandsEndToEnd drives every subcommand against real stores.
+func TestCommandsEndToEnd(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	fillStore(t, dirA)
+	fillStore(t, dirB)
+
+	var out strings.Builder
+	if err := run(options{cmd: "inspect", store: dirA}, &out); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	for _, want := range []string{"2 trial + 0 scenario", "list/ca t=2 u=100"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run(options{cmd: "verify", store: dirA}, &out); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !strings.Contains(out.String(), "2 sound entries, 0 problems") {
+		t.Errorf("verify output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run(options{cmd: "export", store: dirA}, &out); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 { // header + 2 trials
+		t.Fatalf("export rows = %d, want 3:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "kind,ds,scheme,threads,update_pct") {
+		t.Errorf("export header: %s", lines[0])
+	}
+
+	out.Reset()
+	if err := run(options{cmd: "diff", a: dirA, b: dirB}, &out); err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if !strings.Contains(out.String(), "1 aligned cells, 0 significant differences") {
+		t.Errorf("identical stores must align without significance:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run(options{cmd: "gc", store: dirA}, &out); err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if !strings.Contains(out.String(), "removed 0 entries, kept 2") {
+		t.Errorf("gc output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run(options{cmd: "gc", store: dirA, all: true}, &out); err != nil {
+		t.Fatalf("gc -all: %v", err)
+	}
+	if !strings.Contains(out.String(), "removed 2 entries, kept 0") {
+		t.Errorf("gc -all output: %s", out.String())
+	}
+}

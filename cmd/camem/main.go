@@ -9,35 +9,65 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
 
 	"condaccess/internal/bench"
+	"condaccess/internal/lab"
 )
 
-func main() {
-	var (
-		schemes = flag.String("schemes", "none,ca,ibr,rcu,qsbr,hp,he", "comma-separated schemes")
-		threads = flag.Int("threads", 16, "threads (paper: 16)")
-		keys    = flag.Uint64("range", 1000, "key range (paper: 1000)")
-		ops     = flag.Int("ops", 5000, "operations per thread (paper: 5000)")
-		every   = flag.Int("sample", 1000, "sample footprint every N total ops (paper: 1000)")
-		seed    = flag.Uint64("seed", 1, "RNG seed")
-		check   = flag.Bool("check", false, "enable safety assertions")
-		csvPath = flag.String("csv", "", "also write CSV to this file")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel scheme workers (1: sequential)")
-	)
-	flag.Parse()
+// options is the parsed command line: one Workload per scheme plus the
+// output and execution knobs.
+type options struct {
+	ws        []bench.Workload
+	schemes   []string
+	csvPath   string
+	storePath string
+	workers   int
+}
 
-	names := []string{}
+// reportedError marks an error the flag package has already printed to
+// stderr (with usage), so main must not print it a second time.
+type reportedError struct{ err error }
+
+func (e reportedError) Error() string { return e.err.Error() }
+func (e reportedError) Unwrap() error { return e.err }
+
+// parseArgs parses the flag set into per-scheme workloads. Split out of
+// main for testability.
+func parseArgs(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("camem", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		schemes = fs.String("schemes", "none,ca,ibr,rcu,qsbr,hp,he", "comma-separated schemes")
+		threads = fs.Int("threads", 16, "threads (paper: 16)")
+		keys    = fs.Uint64("range", 1000, "key range (paper: 1000)")
+		ops     = fs.Int("ops", 5000, "operations per thread (paper: 5000)")
+		every   = fs.Int("sample", 1000, "sample footprint every N total ops (paper: 1000)")
+		seed    = fs.Uint64("seed", 1, "RNG seed")
+		check   = fs.Bool("check", false, "enable safety assertions")
+		csvPath = fs.String("csv", "", "also write CSV to this file")
+		store   = fs.String("store", "", "content-addressed result store directory (warm schemes skip simulation)")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel scheme workers (1: sequential)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return options{}, reportedError{err}
+	}
+
+	var names []string
 	for _, scheme := range strings.Split(*schemes, ",") {
 		if scheme = strings.TrimSpace(scheme); scheme != "" {
 			names = append(names, scheme)
 		}
+	}
+	if len(names) == 0 {
+		return options{}, errors.New("-schemes: empty list")
 	}
 	ws := make([]bench.Workload, len(names))
 	for i, scheme := range names {
@@ -48,11 +78,43 @@ func main() {
 			FootprintEvery: *every,
 		}
 	}
-	results, err := bench.RunMany(ws, *workers)
+	return options{
+		ws: ws, schemes: names,
+		csvPath: *csvPath, storePath: *store, workers: *workers,
+	}, nil
+}
+
+func main() {
+	opt, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		var rep reportedError
+		if !errors.As(err, &rep) {
+			fmt.Fprintln(os.Stderr, "camem:", err)
+		}
+		os.Exit(2)
+	}
+	var store *lab.Store
+	var trialStore bench.TrialStore // typed nil must stay an untyped nil interface
+	if opt.storePath != "" {
+		store, err = lab.Open(opt.storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "camem:", err)
+			os.Exit(1)
+		}
+		trialStore = store
+	}
+	results, err := bench.RunMany(opt.ws, opt.workers, trialStore)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "camem:", err)
 		os.Exit(1)
 	}
+	if store != nil {
+		fmt.Fprintln(os.Stderr, store.Stats())
+	}
+	names := opt.schemes
 	series := map[string]map[int]uint64{}
 	allOps := map[int]bool{}
 	for i, scheme := range names {
@@ -82,11 +144,11 @@ func main() {
 		}
 		out.WriteByte('\n')
 	}
-	fmt.Printf("Figure 3: allocated-but-not-freed nodes, lazy list, %d threads, 100%% updates\n", *threads)
+	fmt.Printf("Figure 3: allocated-but-not-freed nodes, lazy list, %d threads, 100%% updates\n", opt.ws[0].Threads)
 	fmt.Print(out.String())
 
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+	if opt.csvPath != "" {
+		f, err := os.Create(opt.csvPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "camem:", err)
 			os.Exit(1)

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	opt, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.ws) != 7 || len(opt.schemes) != 7 {
+		t.Fatalf("default scheme count = %d workloads / %d names, want 7", len(opt.ws), len(opt.schemes))
+	}
+	w := opt.ws[1]
+	if opt.schemes[1] != "ca" || w.Scheme != "ca" {
+		t.Errorf("scheme order broken: %v", opt.schemes)
+	}
+	if w.DS != "list" || w.Threads != 16 || w.KeyRange != 1000 || w.UpdatePct != 100 ||
+		w.OpsPerThread != 5000 || w.FootprintEvery != 1000 || w.Seed != 1 {
+		t.Errorf("paper defaults wrong: %+v", w)
+	}
+	if opt.csvPath != "" || opt.storePath != "" {
+		t.Errorf("csv/store defaults: %+v", opt)
+	}
+	if opt.workers < 1 {
+		t.Errorf("workers default %d", opt.workers)
+	}
+}
+
+func TestParseArgsOverrides(t *testing.T) {
+	opt, err := parseArgs([]string{
+		"-schemes", " ca , rcu ,", "-threads", "4", "-range", "64",
+		"-ops", "200", "-sample", "50", "-seed", "3", "-check",
+		"-csv", "out.csv", "-store", "results/store", "-workers", "2",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.ws) != 2 || opt.schemes[0] != "ca" || opt.schemes[1] != "rcu" {
+		t.Errorf("schemes = %v (whitespace and empties should be dropped)", opt.schemes)
+	}
+	w := opt.ws[0]
+	if w.Threads != 4 || w.KeyRange != 64 || w.OpsPerThread != 200 ||
+		w.FootprintEvery != 50 || w.Seed != 3 || !w.Check {
+		t.Errorf("overrides not applied: %+v", w)
+	}
+	if opt.csvPath != "out.csv" || opt.storePath != "results/store" || opt.workers != 2 {
+		t.Errorf("output/store/workers: %+v", opt)
+	}
+}
+
+func TestParseArgsEmptySchemes(t *testing.T) {
+	if _, err := parseArgs([]string{"-schemes", " , "}, io.Discard); err == nil {
+		t.Fatal("empty scheme list accepted")
+	}
+}
+
+func TestParseArgsBadFlagIsReported(t *testing.T) {
+	var buf strings.Builder
+	_, err := parseArgs([]string{"-ops", "many"}, &buf)
+	if err == nil {
+		t.Fatal("bad -ops accepted")
+	}
+	var rep reportedError
+	if !errors.As(err, &rep) {
+		t.Errorf("flag-package error not marked reported: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("flag package printed nothing to stderr")
+	}
+}
+
+func TestParseArgsHelp(t *testing.T) {
+	_, err := parseArgs([]string{"-h"}, io.Discard)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}

@@ -23,15 +23,17 @@ import (
 	"strings"
 
 	"condaccess/internal/bench"
+	"condaccess/internal/lab"
 	"condaccess/internal/scenario"
 )
 
 // options is the parsed command line.
 type options struct {
-	sw      bench.ScenarioWorkload
-	schemes []string
-	lat     bool
-	list    bool
+	sw        bench.ScenarioWorkload
+	schemes   []string
+	storePath string
+	lat       bool
+	list      bool
 }
 
 // reportedError marks an error the flag package has already printed to
@@ -60,6 +62,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		check   = fs.Bool("check", false, "enable use-after-free and Theorem 6/7 assertions")
 		dist    = fs.String("dist", "uniform", "default key distribution for phases that name none")
 		lat     = fs.Bool("lat", false, "also print per-phase latency percentiles")
+		store   = fs.String("store", "", "content-addressed result store directory (warm trials skip simulation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return options{}, reportedError{err}
@@ -107,8 +110,9 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 			RecordLatency: *lat,
 			Scenario:      sc,
 		},
-		schemes: schemeList,
-		lat:     *lat,
+		schemes:   schemeList,
+		storePath: *store,
+		lat:       *lat,
 	}, nil
 }
 
@@ -129,6 +133,16 @@ func main() {
 		return
 	}
 	var runner bench.Runner
+	var store *lab.Store
+	if opt.storePath != "" {
+		st, err := lab.Open(opt.storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cascenario:", err)
+			os.Exit(1)
+		}
+		store = st
+		runner.Store = st
+	}
 	for _, scheme := range opt.schemes {
 		sw := opt.sw
 		sw.Scheme = scheme
@@ -138,6 +152,9 @@ func main() {
 			os.Exit(1)
 		}
 		printResult(os.Stdout, sw, res, opt.lat)
+	}
+	if store != nil {
+		fmt.Fprintln(os.Stderr, store.Stats())
 	}
 }
 

@@ -127,3 +127,20 @@ func TestParseArgsHelp(t *testing.T) {
 		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
 	}
 }
+
+func TestParseArgsStoreFlag(t *testing.T) {
+	opt, err := parseArgs([]string{"-preset", "read-burst", "-store", "results/store"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.storePath != "results/store" {
+		t.Errorf("storePath = %q, want results/store", opt.storePath)
+	}
+	opt, err = parseArgs([]string{"-preset", "read-burst"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.storePath != "" {
+		t.Errorf("default storePath = %q, want empty", opt.storePath)
+	}
+}

@@ -10,39 +10,71 @@
 //	tuning    — Section I/V ablation: baselines' reclaim/epoch frequency
 //	            sensitivity vs CA's parameter-free operation
 //
-// Use -quick for a reduced-scale pass (minutes instead of tens of minutes).
+// Use -quick for a reduced-scale pass (minutes instead of tens of minutes),
+// and -store to cache trial results persistently: a re-run (after an
+// interruption, or with more figures enabled) only simulates cells the
+// store has not seen.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"strings"
 	"time"
 
 	"condaccess/internal/bench"
 	"condaccess/internal/cache"
+	"condaccess/internal/lab"
 	"condaccess/internal/smr"
 )
 
 var allSchemes = []string{"none", "ca", "ibr", "rcu", "qsbr", "hp", "he"}
 
-func main() {
+// figOrder is the run order of the figure jobs; parseArgs validates -fig
+// against it.
+var figOrder = []string{"fig1list", "fig1bst", "fig2hash", "fig2stack", "fig3mem", "assoc", "tuning", "smt", "hmlist"}
+
+// options is the parsed command line: the fully-derived generator (scale
+// already resolved from -quick and -trials) plus the figure selection.
+type options struct {
+	g         generator
+	fig       string
+	storePath string
+}
+
+// reportedError marks an error the flag package has already printed to
+// stderr (with usage), so main must not print it a second time.
+type reportedError struct{ err error }
+
+func (e reportedError) Error() string { return e.err.Error() }
+func (e reportedError) Unwrap() error { return e.err }
+
+// parseArgs parses the flag set and resolves the experiment scale. Split
+// out of main for testability.
+func parseArgs(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		out     = flag.String("out", "results", "output directory for CSV files")
-		fig     = flag.String("fig", "all", "which figure: all, fig1list, fig1bst, fig2hash, fig2stack, fig3mem, assoc, tuning")
-		quick   = flag.Bool("quick", false, "reduced scale: fewer threads/ops/trials")
-		check   = flag.Bool("check", false, "enable safety assertions (slower)")
-		seed    = flag.Uint64("seed", 1, "base seed")
-		ntrial  = flag.Int("trials", 0, "override trials per point (0: 3 full / 1 quick)")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (1: sequential)")
+		out     = fs.String("out", "results", "output directory for CSV files")
+		fig     = fs.String("fig", "all", "which figure: all, "+strings.Join(figOrder, ", "))
+		quick   = fs.Bool("quick", false, "reduced scale: fewer threads/ops/trials")
+		check   = fs.Bool("check", false, "enable safety assertions (slower)")
+		seed    = fs.Uint64("seed", 1, "base seed")
+		ntrial  = fs.Int("trials", 0, "override trials per point (0: 3 full / 1 quick)")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (1: sequential)")
+		store   = fs.String("store", "", "content-addressed result store directory (warm cells skip simulation)")
 	)
-	flag.Parse()
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+	if err := fs.Parse(args); err != nil {
+		return options{}, reportedError{err}
+	}
+	if *fig != "all" && !slices.Contains(figOrder, *fig) {
+		return options{}, fmt.Errorf("-fig %q: unknown figure (want all, %s)", *fig, strings.Join(figOrder, ", "))
 	}
 
 	threads := []int{1, 2, 4, 8, 16, 32}
@@ -54,8 +86,44 @@ func main() {
 	if *ntrial > 0 {
 		trials = *ntrial
 	}
+	return options{
+		g: generator{
+			out: *out, check: *check, seed: *seed,
+			threads: threads, ops: ops, trials: trials, memOps: memOps,
+			workers: *workers,
+		},
+		fig:       *fig,
+		storePath: *store,
+	}, nil
+}
 
-	g := generator{out: *out, check: *check, seed: *seed, threads: threads, ops: ops, trials: trials, memOps: memOps, workers: *workers}
+func main() {
+	opt, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		var rep reportedError
+		if !errors.As(err, &rep) {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+		}
+		os.Exit(2)
+	}
+	g := opt.g
+	var store *lab.Store
+	if opt.storePath != "" {
+		store, err = lab.Open(opt.storePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		g.store = store
+	}
+	if err := os.MkdirAll(g.out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
 	jobs := map[string]func() error{
 		"fig1list":  g.fig1list,
 		"fig1bst":   g.fig1bst,
@@ -67,9 +135,8 @@ func main() {
 		"smt":       g.smt,
 		"hmlist":    g.hmlist,
 	}
-	order := []string{"fig1list", "fig1bst", "fig2hash", "fig2stack", "fig3mem", "assoc", "tuning", "smt", "hmlist"}
-	for _, name := range order {
-		if *fig != "all" && *fig != name {
+	for _, name := range figOrder {
+		if opt.fig != "all" && opt.fig != name {
 			continue
 		}
 		start := time.Now()
@@ -79,6 +146,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("### %s done in %v\n\n", name, time.Since(start).Round(time.Second))
+	}
+	if store != nil {
+		fmt.Fprintln(os.Stderr, store.Stats())
 	}
 }
 
@@ -91,6 +161,14 @@ type generator struct {
 	trials  int
 	memOps  int
 	workers int
+	store   bench.TrialStore
+}
+
+// run executes one standalone trial through the store (the ablations'
+// point-by-point measurements are cacheable cells too).
+func (g generator) run(w bench.Workload) (bench.Result, error) {
+	r := bench.Runner{Store: g.store}
+	return r.Run(w)
 }
 
 func (g generator) sweepFig(name, ds string, keyRange uint64) error {
@@ -98,7 +176,7 @@ func (g generator) sweepFig(name, ds string, keyRange uint64) error {
 		DS: ds, Schemes: allSchemes, Threads: g.threads,
 		Updates: []int{0, 10, 100}, KeyRange: keyRange,
 		Ops: g.ops, Buckets: 128, Seed: g.seed, Check: g.check, Trials: g.trials,
-		Workers: g.workers,
+		Workers: g.workers, Store: g.store,
 	}
 	points, err := bench.Sweep(cfg, nil)
 	if err != nil {
@@ -136,7 +214,7 @@ func (g generator) fig3mem() error {
 			FootprintEvery: 1000,
 		}
 	}
-	results, err := bench.RunMany(ws, g.workers)
+	results, err := bench.RunMany(ws, g.workers, g.store)
 	if err != nil {
 		return err
 	}
@@ -166,7 +244,7 @@ func (g generator) assoc() error {
 	for _, assoc := range []int{2, 4, 8, 16} {
 		p := cache.DefaultParams(threads)
 		p.L1Assoc = assoc
-		res, err := bench.Run(bench.Workload{
+		res, err := g.run(bench.Workload{
 			DS: "list", Scheme: "ca",
 			Threads: threads, KeyRange: 1000, UpdatePct: 100,
 			OpsPerThread: g.ops, Seed: g.seed, Check: g.check, Cache: p,
@@ -196,7 +274,7 @@ func (g generator) smt() error {
 		for _, scheme := range []string{"ca", "rcu"} {
 			p := cache.DefaultParams(16)
 			p.ThreadsPerCore = tpc
-			res, err := bench.Run(bench.Workload{
+			res, err := g.run(bench.Workload{
 				DS: "list", Scheme: scheme,
 				Threads: 16, KeyRange: 1000, UpdatePct: 100,
 				OpsPerThread: g.ops, Seed: g.seed, Check: g.check, Cache: p,
@@ -218,7 +296,7 @@ func (g generator) hmlist() error {
 		DS: "hmlist", Schemes: allSchemes, Threads: g.threads,
 		Updates: []int{0, 100}, KeyRange: 1000,
 		Ops: g.ops, Seed: g.seed, Check: g.check, Trials: g.trials,
-		Workers: g.workers,
+		Workers: g.workers, Store: g.store,
 	}
 	points, err := bench.Sweep(cfg, nil)
 	if err != nil {
@@ -257,7 +335,7 @@ func (g generator) tuning() error {
 				OpsPerThread: g.ops, Seed: g.seed, Check: g.check,
 				SMR: smr.Options{ReclaimEvery: tc.reclaim, EpochEvery: tc.epoch},
 			}
-			res, err := bench.Run(w)
+			res, err := g.run(w)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	opt, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := opt.g
+	if g.out != "results" || g.seed != 1 || g.check {
+		t.Errorf("unexpected defaults: %+v", g)
+	}
+	if !reflect.DeepEqual(g.threads, []int{1, 2, 4, 8, 16, 32}) {
+		t.Errorf("full-scale threads = %v", g.threads)
+	}
+	if g.ops != 3000 || g.trials != 3 || g.memOps != 5000 {
+		t.Errorf("full scale = ops %d / trials %d / memOps %d, want 3000/3/5000", g.ops, g.trials, g.memOps)
+	}
+	if opt.fig != "all" || opt.storePath != "" {
+		t.Errorf("fig/store defaults: %+v", opt)
+	}
+	if g.workers < 1 {
+		t.Errorf("workers default %d", g.workers)
+	}
+}
+
+func TestParseArgsQuickScale(t *testing.T) {
+	opt, err := parseArgs([]string{"-quick"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := opt.g
+	if !reflect.DeepEqual(g.threads, []int{1, 4, 16, 32}) {
+		t.Errorf("quick threads = %v", g.threads)
+	}
+	if g.ops != 800 || g.trials != 1 || g.memOps != 2000 {
+		t.Errorf("quick scale = ops %d / trials %d / memOps %d, want 800/1/2000", g.ops, g.trials, g.memOps)
+	}
+}
+
+func TestParseArgsTrialsOverride(t *testing.T) {
+	opt, err := parseArgs([]string{"-quick", "-trials", "5"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.g.trials != 5 {
+		t.Errorf("-trials override lost: %d", opt.g.trials)
+	}
+}
+
+func TestParseArgsFigAndStore(t *testing.T) {
+	opt, err := parseArgs([]string{"-fig", "fig3mem", "-store", "results/store", "-out", "o", "-seed", "9"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.fig != "fig3mem" || opt.storePath != "results/store" || opt.g.out != "o" || opt.g.seed != 9 {
+		t.Errorf("overrides not applied: %+v", opt)
+	}
+}
+
+func TestParseArgsUnknownFig(t *testing.T) {
+	_, err := parseArgs([]string{"-fig", "fig9nope"}, io.Discard)
+	if err == nil {
+		t.Fatal("unknown -fig accepted (it used to silently run nothing)")
+	}
+	if !strings.Contains(err.Error(), "fig9nope") {
+		t.Errorf("error %q does not name the bad figure", err)
+	}
+}
+
+func TestParseArgsBadFlagIsReported(t *testing.T) {
+	var buf strings.Builder
+	_, err := parseArgs([]string{"-trials", "x"}, &buf)
+	if err == nil {
+		t.Fatal("bad -trials accepted")
+	}
+	var rep reportedError
+	if !errors.As(err, &rep) {
+		t.Errorf("flag-package error not marked reported: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("flag package printed nothing to stderr")
+	}
+}
+
+func TestParseArgsHelp(t *testing.T) {
+	_, err := parseArgs([]string{"-h"}, io.Discard)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestFigOrderCoversJobs: every figure named in the run order must stay
+// listed in the -fig validation set (figOrder is the single source).
+func TestFigOrderCoversJobs(t *testing.T) {
+	for _, name := range []string{"fig1list", "fig3mem", "tuning", "smt", "hmlist"} {
+		if _, err := parseArgs([]string{"-fig", name}, io.Discard); err != nil {
+			t.Errorf("-fig %s rejected: %v", name, err)
+		}
+	}
+}

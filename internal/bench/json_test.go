@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The store persists complete results as JSON, so every field of Result and
+// ScenarioResult must survive an encode/decode round trip exactly. The
+// fixtures below are built reflectively — every exported field in the whole
+// value graph is set to a distinct non-zero value — so a future field that
+// fails to serialize (unexported, tagged away, lossy type) breaks this test
+// the moment it is added rather than silently truncating stored results.
+
+// fill sets every settable field of v to a distinct non-zero value.
+func fill(v reflect.Value, n *int) {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		*n++
+		v.SetInt(int64(*n))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		*n++
+		v.SetUint(uint64(*n))
+	case reflect.Float32, reflect.Float64:
+		*n++
+		v.SetFloat(float64(*n) + 0.5)
+	case reflect.String:
+		*n++
+		v.SetString(fmt.Sprintf("s%d", *n))
+	case reflect.Slice:
+		s := reflect.MakeSlice(v.Type(), 2, 2)
+		for i := 0; i < s.Len(); i++ {
+			fill(s.Index(i), n)
+		}
+		v.Set(s)
+	case reflect.Ptr:
+		p := reflect.New(v.Type().Elem())
+		fill(p.Elem(), n)
+		v.Set(p)
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if f := v.Field(i); f.CanSet() {
+				fill(f, n)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("fill: unhandled kind %v — teach the round-trip test about it", v.Kind()))
+	}
+}
+
+// assertNoZeroLeaves fails if any exported leaf of v is a zero value — i.e.
+// if fill missed something, which would hollow out the round-trip coverage.
+func assertNoZeroLeaves(t *testing.T, v reflect.Value, path string) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Type().Field(i).IsExported() {
+				assertNoZeroLeaves(t, v.Field(i), path+"."+v.Type().Field(i).Name)
+			}
+		}
+	case reflect.Slice:
+		if v.Len() == 0 {
+			t.Errorf("%s: empty slice in fixture", path)
+		}
+		for i := 0; i < v.Len(); i++ {
+			assertNoZeroLeaves(t, v.Index(i), fmt.Sprintf("%s[%d]", path, i))
+		}
+	case reflect.Ptr:
+		if v.IsNil() {
+			t.Errorf("%s: nil pointer in fixture", path)
+			return
+		}
+		assertNoZeroLeaves(t, v.Elem(), path)
+	default:
+		if v.IsZero() {
+			t.Errorf("%s: zero value in fixture", path)
+		}
+	}
+}
+
+func roundTrip[T any](t *testing.T, in T) {
+	t.Helper()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out T
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip lost information:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	var res Result
+	n := 0
+	fill(reflect.ValueOf(&res).Elem(), &n)
+	assertNoZeroLeaves(t, reflect.ValueOf(res), "Result")
+	roundTrip(t, res)
+}
+
+func TestScenarioResultJSONRoundTrip(t *testing.T) {
+	var sres ScenarioResult
+	n := 0
+	fill(reflect.ValueOf(&sres).Elem(), &n)
+	assertNoZeroLeaves(t, reflect.ValueOf(sres), "ScenarioResult")
+	roundTrip(t, sres)
+}
+
+// TestRealResultJSONRoundTrip round-trips genuine engine output — including
+// the footprint series and latency percentiles a synthetic fixture might
+// shape differently — for both the stationary and scenario paths.
+func TestRealResultJSONRoundTrip(t *testing.T) {
+	res, err := Run(goldenWorkload("list", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, res)
+
+	cells := scenarioGoldenCells()
+	sres, err := RunScenario(cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, sres)
+}

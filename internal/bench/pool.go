@@ -84,6 +84,9 @@ func sweepParallel(cfg SweepConfig, specs []pointSpec, report func(SweepPoint)) 
 	var abort atomic.Bool
 	workers := poolWorkers(cfg.Workers, len(jobs))
 	runners := make([]Runner, workers) // one reusable machine set per worker
+	for i := range runners {
+		runners[i].Store = cfg.Store // shared store; implementations are concurrency-safe
+	}
 	wait := startPool(len(jobs), workers, &abort, func(worker, i int) {
 		j := jobs[i]
 		results[j.point][j.trial], errs[j.point][j.trial] = runners[worker].Run(trialWorkload(cfg, specs[j.point], j.trial))
@@ -114,13 +117,17 @@ func sweepParallel(cfg SweepConfig, specs []pointSpec, report func(SweepPoint)) 
 // RunMany executes independent workloads on a worker pool of at most workers
 // OS threads (clamped to GOMAXPROCS; <=1 runs sequentially) and returns their
 // results in input order. On failure it stops claiming further workloads and
-// returns the earliest-indexed error among those that ran.
-func RunMany(ws []Workload, workers int) ([]Result, error) {
+// returns the earliest-indexed error among those that ran. store (may be
+// nil) caches trial results across invocations, like SweepConfig.Store.
+func RunMany(ws []Workload, workers int, store TrialStore) ([]Result, error) {
 	results := make([]Result, len(ws))
 	errs := make([]error, len(ws))
 	var abort atomic.Bool
 	nw := poolWorkers(workers, len(ws))
 	runners := make([]Runner, nw)
+	for i := range runners {
+		runners[i].Store = store
+	}
 	startPool(len(ws), nw, &abort, func(worker, i int) {
 		results[i], errs[i] = runners[worker].Run(ws[i])
 		if errs[i] != nil {

@@ -114,11 +114,11 @@ func TestRunMany(t *testing.T) {
 		{DS: "stack", Scheme: "none", Threads: 1, KeyRange: 32, UpdatePct: 100, OpsPerThread: 60, Seed: 2},
 		{DS: "queue", Scheme: "ibr", Threads: 3, KeyRange: 32, UpdatePct: 100, OpsPerThread: 60, Seed: 3},
 	}
-	seq, err := RunMany(ws, 1)
+	seq, err := RunMany(ws, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunMany(ws, len(ws))
+	par, err := RunMany(ws, len(ws), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestRunMany(t *testing.T) {
 		}
 	}
 	ws[1].DS = "nosuchds"
-	if _, err := RunMany(ws, len(ws)); err == nil {
+	if _, err := RunMany(ws, len(ws), nil); err == nil {
 		t.Fatal("RunMany swallowed a workload error")
 	}
 }

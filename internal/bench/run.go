@@ -19,6 +19,12 @@ import (
 // is not safe for concurrent use; parallel sweeps give each worker its own.
 type Runner struct {
 	machines map[cache.Params]*sim.Machine
+
+	// Store, when non-nil, is consulted before every trial and updated after
+	// every simulated one (read-through/write-through): a hit returns the
+	// cached complete result and skips simulation entirely. Sweeps propagate
+	// SweepConfig.Store here on every execution path.
+	Store TrialStore
 }
 
 // Run executes one trial: build, prefill to 50%, reset clocks, run the
@@ -35,12 +41,22 @@ func (r *Runner) Run(w Workload) (Result, error) {
 	if err := validate(&w); err != nil {
 		return Result{}, err
 	}
-	sres, err := r.RunScenario(lowerWorkload(w))
+	if r.Store != nil {
+		if res, ok := r.Store.LookupTrial(w); ok {
+			return res, nil
+		}
+	}
+	sres, err := r.runScenario(lowerWorkload(w))
 	if err != nil {
 		return Result{}, err
 	}
 	res := sres.Result
 	res.W = w
+	if r.Store != nil {
+		if err := r.Store.StoreTrial(w, res); err != nil {
+			return Result{}, fmt.Errorf("bench: storing trial result: %w", err)
+		}
+	}
 	return res, nil
 }
 

@@ -268,7 +268,32 @@ func compileProfile(p scenario.Profile) (workFn, error) {
 // the inter-phase barrier, so per-phase counter deltas are exact. Each
 // thread's workload RNG stream is created once and carried across phases
 // (phases continue the stream; they do not replay it).
+//
+// With a Store attached, the trial is read-through/write-through cached
+// under the scenario's canonical spec: a warm call returns the cold call's
+// exact serialized result without simulating. (The stationary Workload path
+// keys on the Workload itself in Run and calls runScenario directly, so one
+// trial is never cached under two keys.)
 func (r *Runner) RunScenario(sw ScenarioWorkload) (ScenarioResult, error) {
+	if r.Store != nil {
+		if sres, ok := r.Store.LookupScenario(sw); ok {
+			return sres, nil
+		}
+	}
+	sres, err := r.runScenario(sw)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	if r.Store != nil {
+		if err := r.Store.StoreScenario(sw, sres); err != nil {
+			return ScenarioResult{}, fmt.Errorf("bench: storing scenario result: %w", err)
+		}
+	}
+	return sres, nil
+}
+
+// runScenario is the uncached scenario engine behind RunScenario.
+func (r *Runner) runScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 	if err := validateScenarioWorkload(&sw); err != nil {
 		return ScenarioResult{}, err
 	}

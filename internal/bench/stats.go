@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"math"
+	"slices"
+)
+
+// Summary is the replication statistics of one measured quantity over a
+// point's trials: the spread the paper's "mean of 3 trials" methodology
+// measures but does not report. Mean is computed by summing in trial order
+// and dividing — exactly the arithmetic the harness has always used for
+// SweepPoint.Throughput — so a point's Throughput and its Stats.Mean are the
+// same float64 bit for bit.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Min    float64
+	Max    float64
+	Median float64
+	// Stddev is the sample standard deviation (n-1 denominator); zero when
+	// Count < 2.
+	Stddev float64
+	// CI95 is the half-width of the 95% confidence interval for the mean,
+	// using the Student-t critical value for Count-1 degrees of freedom
+	// (the right distribution at the paper's 3-trial replication count,
+	// where the normal approximation is badly anticonservative); zero when
+	// Count < 2.
+	CI95 float64
+}
+
+// Summarize computes replication statistics over xs (one value per trial,
+// in trial order).
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s := Summary{Count: n, Mean: sum / float64(n)}
+	sorted := slices.Clone(xs)
+	slices.Sort(sorted)
+	s.Min, s.Max = sorted[0], sorted[n-1]
+	if n%2 == 1 {
+		s.Median = sorted[n/2]
+	} else {
+		s.Median = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	if n < 2 {
+		return s
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Stddev = math.Sqrt(ss / float64(n-1))
+	s.CI95 = tCrit95(n-1) * s.Stddev / math.Sqrt(float64(n))
+	return s
+}
+
+// Overlaps reports whether the 95% confidence intervals of s and o overlap.
+// Non-overlap is the conservative significance flag the cross-run comparison
+// uses: if the intervals are disjoint, the difference is significant at well
+// beyond the 5% level. Either side having fewer than 2 trials (no interval)
+// counts as overlapping — no spread, no significance claim.
+func (s Summary) Overlaps(o Summary) bool {
+	if s.Count < 2 || o.Count < 2 {
+		return true
+	}
+	return s.Mean-s.CI95 <= o.Mean+o.CI95 && o.Mean-o.CI95 <= s.Mean+s.CI95
+}
+
+// tTable95 holds two-sided 95% Student-t critical values for 1..30 degrees
+// of freedom.
+var tTable95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit95 returns the two-sided 95% Student-t critical value for df degrees
+// of freedom, stepping down through the standard table anchors above df=30.
+func tCrit95(df int) float64 {
+	switch {
+	case df <= 0:
+		return 0
+	case df <= 30:
+		return tTable95[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("basic moments wrong: %+v", s)
+	}
+	wantSD := math.Sqrt(2.5)
+	if !almost(s.Stddev, wantSD) {
+		t.Errorf("stddev = %v, want %v", s.Stddev, wantSD)
+	}
+	// t(0.975, df=4) = 2.776
+	if want := 2.776 * wantSD / math.Sqrt(5); !almost(s.CI95, want) {
+		t.Errorf("ci95 = %v, want %v", s.CI95, want)
+	}
+}
+
+func TestSummarizeEvenMedianAndUnsortedInput(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("even-count summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("empty input: %+v, want zero", s)
+	}
+	s := Summarize([]float64{7.5})
+	if s.Count != 1 || s.Mean != 7.5 || s.Min != 7.5 || s.Max != 7.5 || s.Median != 7.5 {
+		t.Errorf("single sample: %+v", s)
+	}
+	if s.Stddev != 0 || s.CI95 != 0 {
+		t.Errorf("single sample must not claim spread: %+v", s)
+	}
+}
+
+// TestSummarizeMeanMatchesLegacyArithmetic: Stats.Mean must be bit-identical
+// to the historical sum-in-order/len mean that SweepPoint.Throughput (and
+// the goldens downstream of it) are built on.
+func TestSummarizeMeanMatchesLegacyArithmetic(t *testing.T) {
+	xs := []float64{1234.5678, 991.337, 1023.4567, 1199.9999}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	if legacy := sum / float64(len(xs)); Summarize(xs).Mean != legacy {
+		t.Fatalf("mean %v != legacy mean %v (not bit-identical)", Summarize(xs).Mean, legacy)
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	for _, tc := range []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {4, 2.776}, {30, 2.042},
+		{35, 2.021}, {50, 2.000}, {100, 1.980}, {1000, 1.960},
+	} {
+		if got := tCrit95(tc.df); got != tc.want {
+			t.Errorf("tCrit95(%d) = %v, want %v", tc.df, got, tc.want)
+		}
+	}
+	if tCrit95(0) != 0 {
+		t.Error("df=0 must yield 0")
+	}
+}
+
+func TestSummaryOverlaps(t *testing.T) {
+	a := Summary{Count: 3, Mean: 100, CI95: 5}
+	b := Summary{Count: 3, Mean: 108, CI95: 2}
+	if a.Overlaps(b) {
+		t.Error("disjoint intervals [95,105] and [106,110] reported overlapping")
+	}
+	c := Summary{Count: 3, Mean: 104, CI95: 2}
+	if !a.Overlaps(c) {
+		t.Error("intervals [95,105] and [102,106] reported disjoint")
+	}
+	single := Summary{Count: 1, Mean: 1e9}
+	if !a.Overlaps(single) || !single.Overlaps(a) {
+		t.Error("a single-replica side has no interval and must count as overlapping")
+	}
+}
+
+// TestMergePointStats: a sweep's points must carry replication statistics
+// consistent with their own mean, and single-trial sweeps must carry none.
+func TestMergePointStats(t *testing.T) {
+	cfg := SweepConfig{
+		DS: "list", Schemes: []string{"ca"}, Threads: []int{2}, Updates: []int{100},
+		KeyRange: 32, Ops: 50, Seed: 9, Trials: 3,
+	}
+	points, err := Sweep(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	if p.Stats.Count != 3 {
+		t.Fatalf("Stats.Count = %d, want 3", p.Stats.Count)
+	}
+	if p.Stats.Mean != p.Throughput {
+		t.Fatalf("Stats.Mean %v != Throughput %v (must be the same float64)", p.Stats.Mean, p.Throughput)
+	}
+	if p.Stats.Min > p.Stats.Median || p.Stats.Median > p.Stats.Max {
+		t.Fatalf("order statistics inconsistent: %+v", p.Stats)
+	}
+	if p.Stats.Stddev <= 0 || p.Stats.CI95 <= 0 {
+		t.Fatalf("3 trials with different seeds must show spread: %+v", p.Stats)
+	}
+
+	cfg.Trials = 1
+	points, err = Sweep(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := points[0].Stats; s.Count != 1 || s.Stddev != 0 || s.CI95 != 0 {
+		t.Fatalf("single-trial point claims spread: %+v", s)
+	}
+}

@@ -1,0 +1,99 @@
+// The trial-store contract. A sweep is a cross product of fully
+// deterministic trials, so a trial's complete serialized Result is a pure
+// function of its spec and the engine version — the classic serving-cache
+// shape. This file defines the pluggable store interface the execution paths
+// consult (the on-disk implementation lives in internal/lab), the canonical
+// serialized spec forms that content-addressed keys are derived from, and
+// the engine tag that scopes keys to one pinned engine output.
+
+package bench
+
+import (
+	"crypto/sha256"
+	"embed"
+	"encoding/hex"
+	"encoding/json"
+
+	"condaccess/internal/ds/hashtable"
+)
+
+// TrialStore is a read-through/write-through cache of complete trial
+// results, consulted by Runner.Run and Runner.RunScenario before any
+// simulation happens. A hit must return exactly the Result a cold run would
+// produce (the stored value is the cold run's own serialized output), so
+// warm and cold sweeps are byte-identical. Implementations must be safe for
+// concurrent use: the parallel sweep path shares one store across workers.
+type TrialStore interface {
+	// LookupTrial returns the cached result of the stationary trial w.
+	LookupTrial(w Workload) (Result, bool)
+	// StoreTrial records the result of the stationary trial w.
+	StoreTrial(w Workload, res Result) error
+	// LookupScenario returns the cached result of the scenario trial sw.
+	LookupScenario(sw ScenarioWorkload) (ScenarioResult, bool)
+	// StoreScenario records the result of the scenario trial sw.
+	StoreScenario(sw ScenarioWorkload, res ScenarioResult) error
+}
+
+// goldenPins embeds the golden checksum files that pin the engine's
+// observable output, so the engine tag below tracks them automatically.
+//
+//go:embed testdata/golden.json testdata/golden_scenario.json
+var goldenPins embed.FS
+
+// EngineTag fingerprints the engine version a cached result was produced
+// by: a digest of the embedded golden checksum files. The goldens pin every
+// observable bit of the simulator's output, and any deliberate engine change
+// regenerates them (-update-golden), so regenerating the goldens
+// automatically invalidates every stale store entry — no hand-maintained
+// version constant to forget.
+func EngineTag() string {
+	h := sha256.New()
+	for _, name := range []string{"testdata/golden.json", "testdata/golden_scenario.json"} {
+		b, err := goldenPins.ReadFile(name)
+		if err != nil {
+			// Unreachable: embed fails the build if the files are missing.
+			panic(err)
+		}
+		h.Write(b)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// EffectiveBuckets resolves the bucket count that actually shapes a trial:
+// zero for every structure but the hash table (the field is inert there),
+// and the hash table's default when unset. Cell grouping uses this so
+// tools that pass an explicit 128 and tools that pass 0 align.
+func EffectiveBuckets(ds string, buckets int) int {
+	if ds != "hash" {
+		return 0
+	}
+	if buckets == 0 {
+		return hashtable.DefaultBuckets
+	}
+	return buckets
+}
+
+// TrialSpecBytes returns the canonical serialized form of a stationary trial
+// spec: the JSON encoding of the full Workload (every field participates in
+// the content address — seed, check mode, cache geometry, SMR tuning, all of
+// it). Go's encoder emits struct fields in declaration order, so the bytes
+// are deterministic.
+func TrialSpecBytes(w Workload) ([]byte, error) { return json.Marshal(w) }
+
+// ScenarioSpec is the exported canonical form of a ScenarioWorkload: the
+// binding and scenario plus the internal legacy-queue-read flag, which
+// changes the executed op stream (the Workload lowering's dequeue+enqueue
+// read pair) and therefore must participate in the content address.
+type ScenarioSpec struct {
+	ScenarioWorkload
+	LegacyQueueRead bool `json:"legacyQueueRead"`
+}
+
+// Spec returns sw's canonical exported form.
+func (sw ScenarioWorkload) Spec() ScenarioSpec {
+	return ScenarioSpec{ScenarioWorkload: sw, LegacyQueueRead: sw.legacyQueueRead}
+}
+
+// ScenarioSpecBytes returns the canonical serialized form of a scenario
+// trial spec, analogous to TrialSpecBytes.
+func ScenarioSpecBytes(sw ScenarioWorkload) ([]byte, error) { return json.Marshal(sw.Spec()) }

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestEngineTagIsStable(t *testing.T) {
+	a, b := EngineTag(), EngineTag()
+	if a != b {
+		t.Fatalf("engine tag not deterministic: %q vs %q", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("engine tag %q has length %d, want 16", a, len(a))
+	}
+}
+
+func TestTrialSpecBytesCanonical(t *testing.T) {
+	w := goldenWorkload("list", "ca")
+	a, err := TrialSpecBytes(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrialSpecBytes(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same workload serialized differently twice")
+	}
+	w.Seed++
+	c, err := TrialSpecBytes(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("seed change invisible in the canonical spec")
+	}
+}
+
+// TestScenarioSpecCarriesLegacyFlag: the Workload lowering's historical
+// queue-read pair changes the executed op stream, so the canonical scenario
+// spec must distinguish a lowered workload from the identical declarative
+// scenario.
+func TestScenarioSpecCarriesLegacyFlag(t *testing.T) {
+	lowered := lowerWorkload(goldenWorkload("queue", "ca"))
+	if !lowered.Spec().LegacyQueueRead {
+		t.Fatal("lowered workload spec lost the legacy queue-read flag")
+	}
+	declarative := lowered
+	declarative.legacyQueueRead = false
+	a, err := ScenarioSpecBytes(lowered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScenarioSpecBytes(declarative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("legacy flag invisible in the canonical spec: lowered and declarative trials would collide")
+	}
+}
+
+func TestEffectiveBuckets(t *testing.T) {
+	for _, tc := range []struct {
+		ds      string
+		in, out int
+	}{
+		{"list", 128, 0}, // inert outside the hash table
+		{"list", 0, 0},
+		{"bst", 64, 0},
+		{"hash", 0, 128}, // unset means the default geometry
+		{"hash", 128, 128},
+		{"hash", 64, 64},
+	} {
+		if got := EffectiveBuckets(tc.ds, tc.in); got != tc.out {
+			t.Errorf("EffectiveBuckets(%s, %d) = %d, want %d", tc.ds, tc.in, got, tc.out)
+		}
+	}
+}
+
+// memStore is an in-memory TrialStore for harness-side integration tests.
+type memStore struct {
+	mu        sync.Mutex
+	trials    map[string]Result
+	scenarios map[string]ScenarioResult
+	puts      int
+}
+
+func newMemStore() *memStore {
+	return &memStore{trials: map[string]Result{}, scenarios: map[string]ScenarioResult{}}
+}
+
+func (m *memStore) LookupTrial(w Workload) (Result, bool) {
+	spec, _ := TrialSpecBytes(w)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	res, ok := m.trials[string(spec)]
+	return res, ok
+}
+
+func (m *memStore) StoreTrial(w Workload, res Result) error {
+	spec, _ := TrialSpecBytes(w)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trials[string(spec)] = res
+	m.puts++
+	return nil
+}
+
+func (m *memStore) LookupScenario(sw ScenarioWorkload) (ScenarioResult, bool) {
+	spec, _ := ScenarioSpecBytes(sw)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	res, ok := m.scenarios[string(spec)]
+	return res, ok
+}
+
+func (m *memStore) StoreScenario(sw ScenarioWorkload, res ScenarioResult) error {
+	spec, _ := ScenarioSpecBytes(sw)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.scenarios[string(spec)] = res
+	m.puts++
+	return nil
+}
+
+// TestRunDoesNotDoubleCache: the stationary path keys on the Workload alone;
+// it must not also record the lowered scenario under a second key.
+func TestRunDoesNotDoubleCache(t *testing.T) {
+	st := newMemStore()
+	r := Runner{Store: st}
+	if _, err := r.Run(goldenWorkload("list", "ca")); err != nil {
+		t.Fatal(err)
+	}
+	if st.puts != 1 || len(st.trials) != 1 || len(st.scenarios) != 0 {
+		t.Fatalf("one trial produced %d puts (%d trial / %d scenario entries), want exactly 1 trial entry",
+			st.puts, len(st.trials), len(st.scenarios))
+	}
+}
+
+// TestSweepStoreHitSkipsSimulation: a poisoned store entry must be returned
+// verbatim — proof the simulator never ran for a warm cell.
+func TestSweepStoreHitSkipsSimulation(t *testing.T) {
+	st := newMemStore()
+	cfg := SweepConfig{
+		DS: "list", Schemes: []string{"ca"}, Threads: []int{2}, Updates: []int{50},
+		KeyRange: 32, Ops: 40, Seed: 1, Store: st,
+	}
+	cold, err := Sweep(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison the cached result; a warm sweep must return the poison.
+	w := trialWorkload(cfg, pointSpec{Scheme: "ca", Threads: 2, UpdatePct: 50}, 0)
+	poisoned, _ := st.LookupTrial(w)
+	poisoned.Throughput = 123456789
+	if err := st.StoreTrial(w, poisoned); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Sweep(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm[0].Throughput != 123456789 {
+		t.Fatalf("warm sweep re-simulated instead of serving the store: throughput %v (cold %v)",
+			warm[0].Throughput, cold[0].Throughput)
+	}
+}

@@ -38,6 +38,12 @@ type SweepConfig struct {
 	Dist string
 	// RecordLatency fills each point's Result.Latency.
 	RecordLatency bool
+
+	// Store, when non-nil, caches complete trial results by content-addressed
+	// spec (read-through/write-through, on both execution paths): re-running
+	// a sweep against a warm store executes zero simulator trials and
+	// reproduces the cold run's output byte for byte.
+	Store TrialStore
 }
 
 // SweepPoint is one measured point of a sweep.
@@ -49,6 +55,10 @@ type SweepPoint struct {
 	Retries    uint64  // from the last trial
 	LiveNodes  uint64  // from the last trial
 	Result     Result  // last trial's full result
+
+	// Stats summarizes throughput over the point's trials (Stats.Mean ==
+	// Throughput); the spread fields are zero when Trials is 1.
+	Stats Summary
 }
 
 // pointSpec is one cell of the sweep cross product.
@@ -90,19 +100,22 @@ func trialWorkload(cfg SweepConfig, s pointSpec, trial int) Workload {
 }
 
 // mergePoint folds a point's trial results (in trial order, so float
-// summation order is fixed) into its SweepPoint.
+// summation order is fixed — Summarize sums the same way the historical
+// mean did) into its SweepPoint.
 func mergePoint(s pointSpec, trials []Result) SweepPoint {
-	var sum float64
-	for _, r := range trials {
-		sum += r.Throughput
+	xs := make([]float64, len(trials))
+	for i, r := range trials {
+		xs[i] = r.Throughput
 	}
+	stats := Summarize(xs)
 	last := trials[len(trials)-1]
 	return SweepPoint{
 		Scheme: s.Scheme, Threads: s.Threads, UpdatePct: s.UpdatePct,
-		Throughput: sum / float64(len(trials)),
+		Throughput: stats.Mean,
 		Retries:    last.Retries,
 		LiveNodes:  last.Mem.NodeLive(),
 		Result:     last,
+		Stats:      stats,
 	}
 }
 
@@ -111,18 +124,48 @@ func pointError(cfg SweepConfig, s pointSpec, err error) error {
 	return fmt.Errorf("sweep %s/%s t=%d u=%d: %w", cfg.DS, s.Scheme, s.Threads, s.UpdatePct, err)
 }
 
+// validateSweep rejects malformed sweep configurations up front, before any
+// trial runs: a sweep with no schemes, threads, or updates used to return
+// silently empty output, and negative counts fell through to whatever the
+// execution path made of them. Per-workload fields (structure, scheme,
+// distribution names) are still validated per trial, where the error carries
+// the sweep coordinates.
+func validateSweep(cfg SweepConfig) error {
+	if cfg.Trials < 1 {
+		return fmt.Errorf("bench: sweep trials %d, need at least 1", cfg.Trials)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("bench: sweep workers %d must be non-negative", cfg.Workers)
+	}
+	if len(cfg.Schemes) == 0 {
+		return fmt.Errorf("bench: sweep has no schemes")
+	}
+	if len(cfg.Threads) == 0 {
+		return fmt.Errorf("bench: sweep has no thread counts")
+	}
+	if len(cfg.Updates) == 0 {
+		return fmt.Errorf("bench: sweep has no update rates")
+	}
+	return nil
+}
+
 // Sweep runs the full cross product. report (may be nil) is called after
-// each point, always in sweep order.
+// each point, always in sweep order. A zero Trials means 1, like every other
+// zero-valued default in the config; all other malformed values are
+// rejected up front.
 func Sweep(cfg SweepConfig, report func(SweepPoint)) ([]SweepPoint, error) {
-	if cfg.Trials <= 0 {
+	if cfg.Trials == 0 {
 		cfg.Trials = 1
+	}
+	if err := validateSweep(cfg); err != nil {
+		return nil, err
 	}
 	specs := expand(cfg)
 	if cfg.Workers > 1 {
 		return sweepParallel(cfg, specs, report)
 	}
 	var points []SweepPoint
-	var runner Runner // reuses one machine per geometry across the sweep
+	runner := Runner{Store: cfg.Store} // reuses one machine per geometry across the sweep
 	for _, s := range specs {
 		trials := make([]Result, cfg.Trials)
 		for trial := range trials {
@@ -141,14 +184,43 @@ func Sweep(cfg SweepConfig, report func(SweepPoint)) ([]SweepPoint, error) {
 	return points, nil
 }
 
-// WriteCSV emits a sweep as long-form CSV.
+// multiTrial reports whether any point carries replication spread (Trials >
+// 1), which is what switches the table and CSV renderers into their
+// statistics layout.
+func multiTrial(points []SweepPoint) bool {
+	for _, p := range points {
+		if p.Stats.Count > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteCSV emits a sweep as long-form CSV. Single-trial sweeps keep the
+// historical columns byte for byte; multi-trial sweeps append the
+// replication statistics (trial count, stddev, 95% CI half-width, min, max,
+// median of throughput).
 func WriteCSV(w io.Writer, ds string, points []SweepPoint) error {
-	if _, err := fmt.Fprintln(w, "ds,scheme,threads,update_pct,ops_per_mcyc,retries,live_nodes"); err != nil {
+	stats := multiTrial(points)
+	header := "ds,scheme,threads,update_pct,ops_per_mcyc,retries,live_nodes"
+	if stats {
+		header += ",trials,stddev,ci95,min,max,median"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, p := range points {
-		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%.2f,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%.2f,%d,%d",
 			ds, p.Scheme, p.Threads, p.UpdatePct, p.Throughput, p.Retries, p.LiveNodes); err != nil {
+			return err
+		}
+		if stats {
+			if _, err := fmt.Fprintf(w, ",%d,%.2f,%.2f,%.2f,%.2f,%.2f",
+				p.Stats.Count, p.Stats.Stddev, p.Stats.CI95, p.Stats.Min, p.Stats.Max, p.Stats.Median); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
 	}
@@ -156,12 +228,16 @@ func WriteCSV(w io.Writer, ds string, points []SweepPoint) error {
 }
 
 // FormatTable renders one panel (a fixed update rate) as the paper's figure
-// series: rows = schemes, columns = thread counts, cells = throughput.
+// series: rows = schemes, columns = thread counts, cells = throughput. When
+// the points carry replication spread (Trials > 1), each thread column gains
+// stddev ("sd") and 95% CI half-width ("±95") columns; single-trial panels
+// keep the historical layout byte for byte.
 func FormatTable(points []SweepPoint, updatePct int) string {
 	threadSet := map[int]bool{}
 	schemeOrder := []string{}
 	seen := map[string]bool{}
-	cells := map[string]map[int]float64{}
+	cells := map[string]map[int]Summary{}
+	stats := false
 	for _, p := range points {
 		if p.UpdatePct != updatePct {
 			continue
@@ -170,9 +246,18 @@ func FormatTable(points []SweepPoint, updatePct int) string {
 		if !seen[p.Scheme] {
 			seen[p.Scheme] = true
 			schemeOrder = append(schemeOrder, p.Scheme)
-			cells[p.Scheme] = map[int]float64{}
+			cells[p.Scheme] = map[int]Summary{}
 		}
-		cells[p.Scheme][p.Threads] = p.Throughput
+		s := p.Stats
+		if s.Count == 0 {
+			// Hand-built points (tests, external tools) may carry only a
+			// throughput; render them under the single-trial layout.
+			s = Summary{Count: 1, Mean: p.Throughput}
+		}
+		if s.Count > 1 {
+			stats = true
+		}
+		cells[p.Scheme][p.Threads] = s
 	}
 	var threads []int
 	for th := range threadSet {
@@ -184,12 +269,19 @@ func FormatTable(points []SweepPoint, updatePct int) string {
 	fmt.Fprintf(&b, "%-6s", "scheme")
 	for _, th := range threads {
 		fmt.Fprintf(&b, " %9s", fmt.Sprintf("t=%d", th))
+		if stats {
+			fmt.Fprintf(&b, " %8s %8s", "sd", "±95")
+		}
 	}
 	b.WriteByte('\n')
 	for _, s := range schemeOrder {
 		fmt.Fprintf(&b, "%-6s", s)
 		for _, th := range threads {
-			fmt.Fprintf(&b, " %9.1f", cells[s][th])
+			cell := cells[s][th]
+			fmt.Fprintf(&b, " %9.1f", cell.Mean)
+			if stats {
+				fmt.Fprintf(&b, " %8.1f %8.1f", cell.Stddev, cell.CI95)
+			}
 		}
 		b.WriteByte('\n')
 	}

@@ -52,8 +52,46 @@ func TestSweepErrorPaths(t *testing.T) {
 	}
 }
 
-// TestSweepZeroTrialsDefaultsToOne: Trials <= 0 must behave exactly like
-// Trials: 1 rather than producing no points or dividing by zero.
+// TestSweepConfigValidation: structurally malformed sweeps — empty axes
+// (which used to return silently empty output), negative trials or workers —
+// must be rejected up front with a clear error, before any trial runs.
+func TestSweepConfigValidation(t *testing.T) {
+	base := SweepConfig{
+		DS: "list", Schemes: []string{"ca"}, Threads: []int{2}, Updates: []int{50},
+		KeyRange: 32, Ops: 40, Seed: 1,
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*SweepConfig)
+		wantSub string
+	}{
+		{"negative trials", func(c *SweepConfig) { c.Trials = -1 }, "trials"},
+		{"negative workers", func(c *SweepConfig) { c.Workers = -2 }, "workers"},
+		{"no schemes", func(c *SweepConfig) { c.Schemes = nil }, "no schemes"},
+		{"no threads", func(c *SweepConfig) { c.Threads = nil }, "no thread counts"},
+		{"no updates", func(c *SweepConfig) { c.Updates = nil }, "no update rates"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			points, err := Sweep(cfg, nil)
+			if err == nil {
+				t.Fatal("malformed sweep accepted")
+			}
+			if points != nil {
+				t.Fatal("got points alongside error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestSweepZeroTrialsDefaultsToOne: Trials: 0 is the config's zero-value
+// default and must behave exactly like Trials: 1 rather than producing no
+// points or dividing by zero (negative trial counts are rejected).
 func TestSweepZeroTrialsDefaultsToOne(t *testing.T) {
 	cfg := SweepConfig{
 		DS: "list", Schemes: []string{"ca"}, Threads: []int{1, 2}, Updates: []int{50},

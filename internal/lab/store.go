@@ -1,0 +1,370 @@
+package lab
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"condaccess/internal/bench"
+)
+
+// Entry kinds, also the on-disk envelope discriminator.
+const (
+	KindTrial    = "trial"
+	KindScenario = "scenario"
+)
+
+// Store is an on-disk, content-addressed trial store. Each entry is one
+// self-describing JSON file under <dir>/objects/<kk>/<key>.json, where key =
+// SHA-256(engine tag, kind, canonical spec): the name is the content address
+// of the spec, so integrity is checkable offline and two stores can be
+// diffed by coordinates without sharing any state. Writes go to a temp file
+// and rename into place, so concurrent sweep workers and interrupted runs
+// never leave a partial entry under a valid name.
+type Store struct {
+	dir string
+	tag string
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	puts   atomic.Uint64
+}
+
+// Store implements the harness's read-through/write-through contract.
+var _ bench.TrialStore = (*Store)(nil)
+
+// Open opens (creating if necessary) the store rooted at dir. Entries are
+// keyed under the current bench.EngineTag(); entries written by other engine
+// versions remain on disk — invisible to lookups — until GC.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("lab: opening store: %w", err)
+	}
+	return &Store{dir: dir, tag: bench.EngineTag()}, nil
+}
+
+// OpenExisting opens a store that must already exist. Read-only consumers
+// (calab) use this so a mistyped path fails loudly instead of silently
+// materializing an empty store and reporting zero entries.
+func OpenExisting(dir string) (*Store, error) {
+	if _, err := os.Stat(filepath.Join(dir, "objects")); err != nil {
+		return nil, fmt.Errorf("lab: %s is not a result store (no objects/ directory): %w", dir, err)
+	}
+	return Open(dir)
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Tag returns the engine tag lookups are scoped to.
+func (s *Store) Tag() string { return s.tag }
+
+// StoreStats counts this handle's store traffic. After a fully warm sweep,
+// Misses and Puts are zero: every trial came from the store and none was
+// simulated.
+type StoreStats struct {
+	Hits   uint64
+	Misses uint64
+	Puts   uint64
+}
+
+// Stats returns the traffic counters accumulated on this handle.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
+}
+
+// String renders the traffic line every -store command reports on stderr;
+// "(100% warm)" is the re-run-executed-zero-trials signal CI greps for.
+func (s StoreStats) String() string {
+	total := s.Hits + s.Misses
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(s.Hits) / float64(total)
+	}
+	return fmt.Sprintf("store: %d hits, %d misses (%.0f%% warm)", s.Hits, s.Misses, pct)
+}
+
+// envelope is the on-disk entry format. Spec and Result are the canonical
+// serialized forms verbatim; Sum fingerprints Result so a lookup (and
+// Verify) can detect payload corruption.
+type envelope struct {
+	Tag    string          `json:"tag"`
+	Kind   string          `json:"kind"`
+	Spec   json.RawMessage `json:"spec"`
+	Sum    string          `json:"sum"`
+	Result json.RawMessage `json:"result"`
+}
+
+// key derives the content address of a spec under tag.
+func key(tag, kind string, spec []byte) string {
+	h := sha256.New()
+	io.WriteString(h, tag)
+	h.Write([]byte{'\n'})
+	io.WriteString(h, kind)
+	h.Write([]byte{'\n'})
+	h.Write(spec)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// payloadSum fingerprints a serialized result.
+func payloadSum(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, "objects", key[:2], key+".json")
+}
+
+// lookup reads the entry for (kind, spec) into out. Any defect — missing
+// file, unparsable envelope, wrong kind, corrupt payload — is a miss: the
+// caller re-simulates and the write-through overwrites the bad entry.
+func (s *Store) lookup(kind string, spec []byte, out any) bool {
+	env, err := readEnvelope(s.path(key(s.tag, kind, spec)))
+	if err != nil || env.Kind != kind || payloadSum(env.Result) != env.Sum {
+		s.misses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(env.Result, out); err != nil {
+		s.misses.Add(1)
+		return false
+	}
+	s.hits.Add(1)
+	return true
+}
+
+// put writes the entry for (kind, spec) atomically.
+func (s *Store) put(kind string, spec []byte, res any) error {
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("lab: encoding result: %w", err)
+	}
+	data, err := json.Marshal(envelope{
+		Tag: s.tag, Kind: kind, Spec: spec,
+		Sum: payloadSum(payload), Result: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("lab: encoding entry: %w", err)
+	}
+	path := s.path(key(s.tag, kind, spec))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("lab: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("lab: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lab: writing entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lab: writing entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("lab: writing entry: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+func readEnvelope(path string) (envelope, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return envelope{}, err
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return envelope{}, err
+	}
+	return env, nil
+}
+
+// LookupTrial implements bench.TrialStore.
+func (s *Store) LookupTrial(w bench.Workload) (bench.Result, bool) {
+	var res bench.Result
+	spec, err := bench.TrialSpecBytes(w)
+	if err != nil {
+		s.misses.Add(1)
+		return res, false
+	}
+	return res, s.lookup(KindTrial, spec, &res)
+}
+
+// StoreTrial implements bench.TrialStore.
+func (s *Store) StoreTrial(w bench.Workload, res bench.Result) error {
+	spec, err := bench.TrialSpecBytes(w)
+	if err != nil {
+		return fmt.Errorf("lab: encoding trial spec: %w", err)
+	}
+	return s.put(KindTrial, spec, res)
+}
+
+// LookupScenario implements bench.TrialStore.
+func (s *Store) LookupScenario(sw bench.ScenarioWorkload) (bench.ScenarioResult, bool) {
+	var res bench.ScenarioResult
+	spec, err := bench.ScenarioSpecBytes(sw)
+	if err != nil {
+		s.misses.Add(1)
+		return res, false
+	}
+	return res, s.lookup(KindScenario, spec, &res)
+}
+
+// StoreScenario implements bench.TrialStore.
+func (s *Store) StoreScenario(sw bench.ScenarioWorkload, res bench.ScenarioResult) error {
+	spec, err := bench.ScenarioSpecBytes(sw)
+	if err != nil {
+		return fmt.Errorf("lab: encoding scenario spec: %w", err)
+	}
+	return s.put(KindScenario, spec, res)
+}
+
+// Entry is one decoded store entry. Exactly one of the (Workload, Result)
+// and (Scenario, ScenarioResult) pairs is set, per Kind.
+type Entry struct {
+	Key  string
+	Tag  string
+	Kind string
+
+	Workload *bench.Workload
+	Result   *bench.Result
+
+	Scenario       *bench.ScenarioSpec
+	ScenarioResult *bench.ScenarioResult
+}
+
+// walk visits every entry file under the store in deterministic (sorted
+// path) order.
+func (s *Store) walk(fn func(path string) error) error {
+	root := filepath.Join(s.dir, "objects")
+	var paths []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("lab: walking store: %w", err)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeEntry fully decodes one entry file, verifying its content address
+// and payload fingerprint.
+func decodeEntry(path string) (Entry, error) {
+	env, err := readEnvelope(path)
+	if err != nil {
+		return Entry{}, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), ".json")
+	if got := key(env.Tag, env.Kind, env.Spec); got != name {
+		return Entry{}, fmt.Errorf("content address mismatch: file %s, spec hashes to %s", name, got)
+	}
+	if payloadSum(env.Result) != env.Sum {
+		return Entry{}, errors.New("result payload does not match its fingerprint")
+	}
+	e := Entry{Key: name, Tag: env.Tag, Kind: env.Kind}
+	switch env.Kind {
+	case KindTrial:
+		e.Workload = new(bench.Workload)
+		e.Result = new(bench.Result)
+		if err := json.Unmarshal(env.Spec, e.Workload); err != nil {
+			return Entry{}, fmt.Errorf("decoding trial spec: %w", err)
+		}
+		if err := json.Unmarshal(env.Result, e.Result); err != nil {
+			return Entry{}, fmt.Errorf("decoding trial result: %w", err)
+		}
+	case KindScenario:
+		e.Scenario = new(bench.ScenarioSpec)
+		e.ScenarioResult = new(bench.ScenarioResult)
+		if err := json.Unmarshal(env.Spec, e.Scenario); err != nil {
+			return Entry{}, fmt.Errorf("decoding scenario spec: %w", err)
+		}
+		if err := json.Unmarshal(env.Result, e.ScenarioResult); err != nil {
+			return Entry{}, fmt.Errorf("decoding scenario result: %w", err)
+		}
+	default:
+		return Entry{}, fmt.Errorf("unknown entry kind %q", env.Kind)
+	}
+	return e, nil
+}
+
+// Entries decodes every valid entry in the store (all engine tags), in
+// deterministic order. Corrupt entries are skipped — Verify reports them.
+func (s *Store) Entries() ([]Entry, error) {
+	var entries []Entry
+	err := s.walk(func(path string) error {
+		e, err := decodeEntry(path)
+		if err != nil {
+			return nil // corrupt: Verify's business
+		}
+		entries = append(entries, e)
+		return nil
+	})
+	return entries, err
+}
+
+// Problem is one integrity defect found by Verify.
+type Problem struct {
+	Path   string
+	Reason string
+}
+
+// Verify checks the integrity of every entry: envelope parses, the file
+// name matches the content address of (tag, kind, spec), and the result
+// payload matches its fingerprint. It returns the number of sound entries
+// alongside the defects.
+func (s *Store) Verify() (sound int, problems []Problem, err error) {
+	err = s.walk(func(path string) error {
+		if _, derr := decodeEntry(path); derr != nil {
+			problems = append(problems, Problem{Path: path, Reason: derr.Error()})
+			return nil
+		}
+		sound++
+		return nil
+	})
+	return sound, problems, err
+}
+
+// GC removes store entries that can no longer serve lookups: entries
+// written under a different engine tag than the current one, and corrupt
+// entries. With all set, every entry goes. It returns the number of entries
+// removed and kept.
+func (s *Store) GC(all bool) (removed, kept int, err error) {
+	err = s.walk(func(path string) error {
+		e, derr := decodeEntry(path)
+		if !all && derr == nil && e.Tag == s.tag {
+			kept++
+			return nil
+		}
+		if rerr := os.Remove(path); rerr != nil {
+			return fmt.Errorf("lab: gc: %w", rerr)
+		}
+		removed++
+		return nil
+	})
+	return removed, kept, err
+}

@@ -1,0 +1,342 @@
+package lab
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"condaccess/internal/bench"
+	"condaccess/internal/scenario"
+)
+
+func testSweepConfig(store bench.TrialStore) bench.SweepConfig {
+	return bench.SweepConfig{
+		DS: "list", Schemes: []string{"ca", "rcu"},
+		Threads: []int{1, 2}, Updates: []int{0, 100},
+		KeyRange: 64, Ops: 120, Seed: 11, Trials: 2,
+		Store: store,
+	}
+}
+
+// TestWarmSweepByteIdentical is the subsystem's acceptance test: a sweep
+// re-run against a warm store must execute zero simulator trials (no store
+// misses, no store puts) and reproduce the cold run's points, table, and CSV
+// byte for byte.
+func TestWarmSweepByteIdentical(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testSweepConfig(st)
+	cold, err := bench.Sweep(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	jobs := uint64(2 * 2 * 2 * cfg.Trials) // schemes x threads x updates x trials
+	if stats.Hits != 0 || stats.Misses != jobs || stats.Puts != jobs {
+		t.Fatalf("cold run traffic %+v, want 0 hits / %d misses / %d puts", stats, jobs, jobs)
+	}
+
+	warm, err := bench.Sweep(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats = st.Stats()
+	if stats.Hits != jobs || stats.Misses != jobs || stats.Puts != jobs {
+		t.Fatalf("warm run traffic %+v, want %d hits and no new misses/puts (zero trials simulated)", stats, jobs)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm points diverge from cold:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+	for _, u := range cfg.Updates {
+		if a, b := bench.FormatTable(cold, u), bench.FormatTable(warm, u); a != b {
+			t.Fatalf("u=%d: warm table not byte-identical:\ncold:\n%s\nwarm:\n%s", u, a, b)
+		}
+	}
+	var coldCSV, warmCSV strings.Builder
+	if err := bench.WriteCSV(&coldCSV, cfg.DS, cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WriteCSV(&warmCSV, cfg.DS, warm); err != nil {
+		t.Fatal(err)
+	}
+	if coldCSV.String() != warmCSV.String() {
+		t.Fatal("warm CSV not byte-identical to cold CSV")
+	}
+}
+
+// TestWarmSweepParallelPath: the pool path must hit the same store entries
+// the sequential path wrote, and reproduce its points exactly.
+func TestWarmSweepParallelPath(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testSweepConfig(st)
+	cold, err := bench.Sweep(cfg, nil) // sequential cold fill
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := cfg
+	par.Workers = runtime.GOMAXPROCS(0)
+	warm, err := bench.Sweep(par, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats(); got.Puts != got.Misses || got.Hits == 0 {
+		t.Fatalf("parallel warm run traffic %+v, want pure hits", got)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("parallel warm points diverge from sequential cold points")
+	}
+}
+
+// TestScenarioWarmRun: RunScenario must round-trip a full ScenarioResult —
+// per-phase segments, prefill, latency percentiles — through the store.
+func TestScenarioWarmRun(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := scenario.Preset("read-burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := bench.ScenarioWorkload{
+		DS: "list", Scheme: "ca", Threads: 4, KeyRange: 128, Seed: 7,
+		RecordLatency: true, Scenario: sc,
+	}
+	r := bench.Runner{Store: st}
+	cold, err := r.RunScenario(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := r.RunScenario(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm scenario result diverges:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+	if got := st.Stats(); got.Hits != 1 || got.Misses != 1 || got.Puts != 1 {
+		t.Fatalf("scenario traffic %+v, want 1 hit / 1 miss / 1 put", got)
+	}
+}
+
+// TestRunManyWarm: the workload-list pool must be cacheable too.
+func TestRunManyWarm(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := []bench.Workload{
+		{DS: "list", Scheme: "ca", Threads: 2, KeyRange: 32, UpdatePct: 50, OpsPerThread: 60, Seed: 1},
+		{DS: "stack", Scheme: "none", Threads: 1, KeyRange: 32, UpdatePct: 100, OpsPerThread: 60, Seed: 2},
+	}
+	cold, err := bench.RunMany(ws, 2, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := bench.RunMany(ws, 1, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("warm RunMany results diverge from cold")
+	}
+	if got := st.Stats(); got.Hits != 2 || got.Puts != 2 {
+		t.Fatalf("RunMany traffic %+v, want 2 hits / 2 puts", got)
+	}
+}
+
+// TestSpecsKeySeparately: any spec difference — even just the seed — must
+// address a different entry.
+func TestSpecsKeySeparately(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bench.Workload{DS: "list", Scheme: "ca", Threads: 2, KeyRange: 32, UpdatePct: 50, OpsPerThread: 60, Seed: 1}
+	r := bench.Runner{Store: st}
+	if _, err := r.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	w2 := w
+	w2.Seed++
+	if _, ok := st.LookupTrial(w2); ok {
+		t.Fatal("seed change still hit the original entry")
+	}
+	entries, err := st.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+	if entries[0].Kind != KindTrial || entries[0].Workload.Seed != 1 {
+		t.Fatalf("decoded entry mismatch: %+v", entries[0])
+	}
+}
+
+// entryPaths lists the store's entry files.
+func entryPaths(t *testing.T, st *Store) []string {
+	t.Helper()
+	var paths []string
+	err := filepath.WalkDir(filepath.Join(st.Dir(), "objects"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+// TestCorruptionIsAMissAndVerifyReportsIt: a flipped payload byte must fail
+// the fingerprint check — lookups treat the entry as cold and re-simulation
+// repairs it, and Verify names the defect.
+func TestCorruptionIsAMissAndVerifyReportsIt(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bench.Workload{DS: "list", Scheme: "ca", Threads: 2, KeyRange: 32, UpdatePct: 50, OpsPerThread: 60, Seed: 1}
+	r := bench.Runner{Store: st}
+	res, err := r.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := entryPaths(t, st)
+	if len(paths) != 1 {
+		t.Fatalf("entry files = %d, want 1", len(paths))
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a digit inside the result payload without breaking the JSON.
+	corrupt := strings.Replace(string(data), `"result":{"W":{"DS"`, `"result":{"X":{"DS"`, 1)
+	if corrupt == string(data) {
+		t.Fatal("corruption did not apply; envelope layout changed?")
+	}
+	if err := os.WriteFile(paths[0], []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := st.LookupTrial(w); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	sound, problems, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sound != 0 || len(problems) != 1 {
+		t.Fatalf("verify: %d sound, %d problems; want 0/1", sound, len(problems))
+	}
+	if !strings.Contains(problems[0].Reason, "fingerprint") {
+		t.Fatalf("problem reason %q does not name the fingerprint", problems[0].Reason)
+	}
+
+	// Re-running repairs the entry in place.
+	repaired, err := r.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, repaired) {
+		t.Fatal("repaired result diverges from original")
+	}
+	if sound, problems, _ = st.Verify(); sound != 1 || len(problems) != 0 {
+		t.Fatalf("after repair: %d sound, %d problems; want 1/0", sound, len(problems))
+	}
+}
+
+// TestGCRemovesForeignTags: entries written under another engine tag are
+// unreachable and must be collected; current-tag entries stay.
+func TestGCRemovesForeignTags(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bench.Workload{DS: "list", Scheme: "ca", Threads: 2, KeyRange: 32, UpdatePct: 50, OpsPerThread: 60, Seed: 1}
+	r := bench.Runner{Store: st}
+	res, err := r.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second handle pinned to a stale engine tag writes a foreign entry.
+	old := &Store{dir: dir, tag: "0000deadbeef0000"}
+	if err := old.StoreTrial(w, res); err != nil {
+		t.Fatal(err)
+	}
+	if len(entryPaths(t, st)) != 2 {
+		t.Fatal("foreign-tag entry landed on the current entry's path")
+	}
+
+	removed, kept, err := st.GC(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || kept != 1 {
+		t.Fatalf("gc removed %d kept %d, want 1/1", removed, kept)
+	}
+	if _, ok := st.LookupTrial(w); !ok {
+		t.Fatal("gc removed the current-tag entry")
+	}
+
+	removed, kept, err = st.GC(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || kept != 0 {
+		t.Fatalf("gc -all removed %d kept %d, want 1/0", removed, kept)
+	}
+}
+
+// TestOpenExisting: read-only consumers must fail loudly on a mistyped
+// path instead of materializing an empty store there.
+func TestOpenExisting(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nosuchstore")
+	if _, err := OpenExisting(missing); err == nil {
+		t.Fatal("nonexistent store opened")
+	}
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Fatal("OpenExisting materialized the missing store")
+	}
+	if _, err := Open(missing); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenExisting(missing); err != nil {
+		t.Fatalf("existing store refused: %v", err)
+	}
+}
+
+// TestEngineTagScopesLookups: a handle with a different tag must not see
+// entries written under the current tag.
+func TestEngineTagScopesLookups(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bench.Workload{DS: "list", Scheme: "ca", Threads: 2, KeyRange: 32, UpdatePct: 50, OpsPerThread: 60, Seed: 1}
+	r := bench.Runner{Store: st}
+	if _, err := r.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	other := &Store{dir: dir, tag: "ffffffffffffffff"}
+	if _, ok := other.LookupTrial(w); ok {
+		t.Fatal("entry visible across engine tags")
+	}
+}
