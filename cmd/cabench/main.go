@@ -35,6 +35,7 @@ type options struct {
 	csvPath   string
 	storePath string
 	verbose   bool
+	tail      bool
 }
 
 // reportedError marks an error the flag package has already printed to
@@ -66,6 +67,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		verbose = fs.Bool("v", false, "print each point as it completes")
 		dist    = fs.String("dist", "uniform", "key distribution: uniform or zipf")
 		lat     = fs.Bool("lat", false, "also print per-point latency percentiles")
+		tail    = fs.Bool("tail", false, "print the tail-latency table: per-point percentiles over all trials merged")
 	)
 	if err := fs.Parse(args); err != nil {
 		return options{}, reportedError{err}
@@ -95,11 +97,12 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 			Updates:  updateList,
 			KeyRange: kr, Ops: *ops, Buckets: *buckets,
 			Seed: *seed, Check: *check, Trials: *trials, Workers: *workers,
-			Dist: *dist, RecordLatency: *lat,
+			Dist: *dist, RecordLatency: *lat, RecordTail: *tail,
 		},
 		csvPath:   *csvPath,
 		storePath: *store,
 		verbose:   *verbose,
+		tail:      *tail,
 	}, nil
 }
 
@@ -156,6 +159,9 @@ func main() {
 		fmt.Print(bench.FormatTable(points, u))
 		fmt.Println()
 	}
+	if opt.tail {
+		printTail(points)
+	}
 	if opt.csvPath != "" {
 		f, err := os.Create(opt.csvPath)
 		if err != nil {
@@ -168,6 +174,21 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// printTail renders the per-point tail-latency table: percentiles of the
+// point's trials merged into one histogram (so every recorded op counts,
+// not just the last trial's), with max and mean exact.
+func printTail(points []bench.SweepPoint) {
+	fmt.Println("== tail latency [cycles], all trials merged ==")
+	fmt.Printf("%-6s %4s %4s %10s %8s %8s %8s %8s %10s\n",
+		"scheme", "t", "u%", "samples", "p50", "p99", "p99.9", "max", "mean")
+	for _, p := range points {
+		s := p.Tail
+		fmt.Printf("%-6s %4d %4d %10d %8d %8d %8d %8d %10.1f\n",
+			p.Scheme, p.Threads, p.UpdatePct, s.Samples, s.P50, s.P99, s.P999, s.Max, s.Mean)
+	}
+	fmt.Println()
 }
 
 func splitList(s string) []string {

@@ -113,3 +113,23 @@ func TestStoreSummaryLine(t *testing.T) {
 		t.Errorf("cold summary = %q", got)
 	}
 }
+
+func TestParseArgsTailFlag(t *testing.T) {
+	opt, err := parseArgs([]string{"-ds", "list", "-tail"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.tail || !opt.cfg.RecordTail {
+		t.Error("-tail must enable the tail table and tail recording")
+	}
+	if opt.cfg.RecordLatency {
+		t.Error("-tail alone must not enable the O(ops) exact-sort recording")
+	}
+	opt, err = parseArgs([]string{"-ds", "list"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.tail || opt.cfg.RecordLatency || opt.cfg.RecordTail {
+		t.Error("tail reporting must be off by default")
+	}
+}

@@ -33,6 +33,7 @@ type options struct {
 	schemes   []string
 	storePath string
 	lat       bool
+	tail      bool
 	list      bool
 }
 
@@ -62,6 +63,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		check   = fs.Bool("check", false, "enable use-after-free and Theorem 6/7 assertions")
 		dist    = fs.String("dist", "uniform", "default key distribution for phases that name none")
 		lat     = fs.Bool("lat", false, "also print per-phase latency percentiles")
+		tail    = fs.Bool("tail", false, "print per-phase tail-latency tables: per-kind and per-attribution percentiles")
 		store   = fs.String("store", "", "content-addressed result store directory (warm trials skip simulation)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -107,12 +109,13 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 			Threads:  *threads,
 			KeyRange: kr, Buckets: *buckets,
 			Seed: *seed, Check: *check, Dist: *dist,
-			RecordLatency: *lat,
-			Scenario:      sc,
+			RecordLatency: *lat, RecordTail: *tail,
+			Scenario: sc,
 		},
 		schemes:   schemeList,
 		storePath: *store,
 		lat:       *lat,
+		tail:      *tail,
 	}, nil
 }
 
@@ -152,6 +155,9 @@ func main() {
 			os.Exit(1)
 		}
 		printResult(os.Stdout, sw, res, opt.lat)
+		if opt.tail {
+			printTail(os.Stdout, res)
+		}
 	}
 	if store != nil {
 		fmt.Fprintln(os.Stderr, store.Stats())
@@ -229,6 +235,18 @@ func printResult(w io.Writer, sw bench.ScenarioWorkload, res bench.ScenarioResul
 	}
 	row("total", total, fmt.Sprintf("%.1f", res.Throughput))
 	fmt.Fprintln(w)
+}
+
+// printTail renders the tail-latency tables: one per phase plus the trial
+// total. Each table partitions the window's ops twice — by op kind
+// (insert+delete+read = ops) and by attribution (useful+reclaim+retry =
+// ops) — and reports the reclamation-pause distribution on its own row
+// (count = ops that absorbed a scan pass, not a partition).
+func printTail(w io.Writer, res bench.ScenarioResult) {
+	for _, seg := range res.Phases {
+		fmt.Fprintf(w, "-- tail latency [cycles]: phase %s (%d ops) --\n%s", seg.Name, seg.Ops, seg.Tail)
+	}
+	fmt.Fprintf(w, "-- tail latency [cycles]: total (%d ops) --\n%s\n", res.Ops, res.Tail)
 }
 
 // missPct is the segment's L1 miss rate in percent.

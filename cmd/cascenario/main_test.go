@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"condaccess/internal/bench"
 	"condaccess/internal/scenario"
 )
 
@@ -142,5 +144,88 @@ func TestParseArgsStoreFlag(t *testing.T) {
 	}
 	if opt.storePath != "" {
 		t.Errorf("default storePath = %q, want empty", opt.storePath)
+	}
+}
+
+func TestParseArgsTailFlag(t *testing.T) {
+	opt, err := parseArgs([]string{"-preset", "churn-drain", "-tail"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.tail || !opt.sw.RecordTail {
+		t.Error("-tail must enable tail reporting and tail recording")
+	}
+	if opt.lat || opt.sw.RecordLatency {
+		t.Error("-tail alone must not enable the O(ops) exact-sort recording")
+	}
+}
+
+// TestTailTableConsistency is the acceptance check for the -tail report:
+// for every phase (and the total), the per-kind counts (insert+delete+read)
+// and the per-attribution counts (useful+reclaim+retry) printed by the
+// table must each sum to the phase's op count.
+func TestTailTableConsistency(t *testing.T) {
+	opt, err := parseArgs([]string{
+		"-preset", "churn-drain", "-ds", "list", "-schemes", "rcu",
+		"-threads", "4", "-range", "128", "-tail",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := opt.sw
+	sw.Scheme = opt.schemes[0]
+	res, err := bench.RunScenario(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	printTail(&buf, res)
+	out := buf.String()
+
+	// Parse every table: "-- tail latency [cycles]: <name> (<ops> ops) --"
+	// followed by class rows whose second column is the count.
+	var ops uint64
+	counts := map[string]uint64{}
+	checkTable := func(header string) {
+		t.Helper()
+		if kinds := counts["insert"] + counts["delete"] + counts["read"]; kinds != ops {
+			t.Errorf("%s: kind counts sum to %d, ops are %d\n%s", header, kinds, ops, out)
+		}
+		if attrs := counts["useful"] + counts["reclaim"] + counts["retry"]; attrs != ops {
+			t.Errorf("%s: attribution counts sum to %d, ops are %d\n%s", header, attrs, ops, out)
+		}
+		if counts["total"] != ops {
+			t.Errorf("%s: total row count %d, ops are %d", header, counts["total"], ops)
+		}
+	}
+	header := ""
+	tables := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "-- tail latency") {
+			if header != "" {
+				checkTable(header)
+			}
+			header = line
+			tables++
+			counts = map[string]uint64{}
+			if _, err := fmt.Sscanf(line[strings.Index(line, "(")+1:], "%d ops", &ops); err != nil {
+				t.Fatalf("unparseable table header %q: %v", line, err)
+			}
+			continue
+		}
+		var name string
+		var n uint64
+		if _, err := fmt.Sscanf(line, "%s %d", &name, &n); err == nil && name != "class" {
+			counts[name] = n
+		}
+	}
+	if header != "" {
+		checkTable(header)
+	}
+	if want := len(res.Phases) + 1; tables != want {
+		t.Fatalf("printed %d tail tables, want %d (per phase + total)", tables, want)
+	}
+	if res.Tail.Pause.Count() == 0 {
+		t.Fatal("rcu churn-drain recorded no reclamation pauses; the attribution column is untested")
 	}
 }

@@ -9,6 +9,8 @@
 //	assoc     — Section III ablation: L1 associativity vs CA spurious failures
 //	tuning    — Section I/V ablation: baselines' reclaim/epoch frequency
 //	            sensitivity vs CA's parameter-free operation
+//	tail      — Section I tail-latency critique: per-op latency CDFs for CA
+//	            vs batch-based reclamation, with pause attribution
 //
 // Use -quick for a reduced-scale pass (minutes instead of tens of minutes),
 // and -store to cache trial results persistently: a re-run (after an
@@ -31,6 +33,7 @@ import (
 	"condaccess/internal/bench"
 	"condaccess/internal/cache"
 	"condaccess/internal/lab"
+	"condaccess/internal/latency"
 	"condaccess/internal/smr"
 )
 
@@ -38,7 +41,7 @@ var allSchemes = []string{"none", "ca", "ibr", "rcu", "qsbr", "hp", "he"}
 
 // figOrder is the run order of the figure jobs; parseArgs validates -fig
 // against it.
-var figOrder = []string{"fig1list", "fig1bst", "fig2hash", "fig2stack", "fig3mem", "assoc", "tuning", "smt", "hmlist"}
+var figOrder = []string{"fig1list", "fig1bst", "fig2hash", "fig2stack", "fig3mem", "assoc", "tuning", "smt", "hmlist", "tail"}
 
 // options is the parsed command line: the fully-derived generator (scale
 // already resolved from -quick and -trials) plus the figure selection.
@@ -134,6 +137,7 @@ func main() {
 		"tuning":    g.tuning,
 		"smt":       g.smt,
 		"hmlist":    g.hmlist,
+		"tail":      g.tail,
 	}
 	for _, name := range figOrder {
 		if opt.fig != "all" && opt.fig != name {
@@ -311,6 +315,68 @@ func (g generator) hmlist() error {
 	}
 	defer f.Close()
 	return bench.WriteCSV(f, "hmlist", points)
+}
+
+// tail reproduces the paper's Section I tail-latency critique with the
+// streaming histogram pipeline: the lazy list under 100% updates for CA
+// (frees one node inline) versus epoch-based reclamation at the paper's
+// default batch and at a throughput-chasing large batch. The CSV holds one
+// latency CDF per configuration, read straight off the log-bucketed
+// histogram (cycles = bucket upper edge, cdf = cumulative sample fraction),
+// plus the reclamation-pause CDF — the "long program interruptions"
+// themselves, which the attribution split isolates from contention retries.
+func (g generator) tail() error {
+	f, err := os.Create(filepath.Join(g.out, "fig_tail_cdf.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "config,series,cycles,cdf")
+	configs := []struct {
+		name string
+		w    bench.Workload
+	}{
+		{"ca", bench.Workload{Scheme: "ca"}},
+		{"rcu_batch30", bench.Workload{Scheme: "rcu", SMR: smr.Options{ReclaimEvery: 30}}},
+		{"rcu_batch400", bench.Workload{Scheme: "rcu", SMR: smr.Options{ReclaimEvery: 400}}},
+	}
+	for _, tc := range configs {
+		w := tc.w
+		w.DS = "list"
+		w.Threads = 8
+		w.KeyRange = 1000
+		w.UpdatePct = 100
+		w.OpsPerThread = g.ops
+		w.Seed = g.seed
+		w.Check = g.check
+		w.RecordTail = true
+		res, err := g.run(w)
+		if err != nil {
+			return err
+		}
+		t := res.Tail
+		series := []struct {
+			name string
+			h    *latency.Hist
+		}{{"op", &t.Total}, {"pause", &t.Pause}}
+		for _, sr := range series {
+			h := sr.h
+			total := h.Count()
+			if total == 0 {
+				continue // ca records no pauses
+			}
+			cum := uint64(0)
+			for _, b := range h.Buckets() {
+				cum += b.Count
+				fmt.Fprintf(f, "%s,%s,%d,%.6f\n", tc.name, sr.name, b.Hi, float64(cum)/float64(total))
+			}
+		}
+		s := t.Total.Summary()
+		fmt.Printf("%-12s: p50 %5d  p99 %5d  p99.9 %5d  max %5d  | reclaim-tagged %d/%d ops, pause p99 %d\n",
+			tc.name, s.P50, s.P99, s.P999, s.Max,
+			t.Reclaim.Count(), t.Total.Count(), t.Pause.Quantile(0.99))
+	}
+	return nil
 }
 
 // tuning reproduces the paper's motivation: the baselines' throughput and

@@ -1,0 +1,69 @@
+// Package examples_test smoke-tests every example program so examples can
+// no longer rot silently: each subdirectory with a main.go is built and run
+// (discovered dynamically — a new example is covered the moment it exists),
+// must exit 0, and must print something. The taillatency example
+// additionally must show the attribution split this repo's tail-latency
+// subsystem exists for.
+package examples_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// examplePrograms lists the example subdirectories that hold a main.go.
+func examplePrograms(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(e.Name() + "/main.go"); err == nil {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) < 5 {
+		t.Fatalf("found only %d example programs (%v) — discovery is broken", len(names), names)
+	}
+	return names
+}
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	for _, name := range examplePrograms(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, goBin, "run", "./examples/"+name)
+			cmd.Dir = ".." // module root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatalf("example %s printed nothing", name)
+			}
+			if name == "taillatency" {
+				for _, want := range []string{"p99", "reclaim", "pause"} {
+					if !strings.Contains(string(out), want) {
+						t.Errorf("taillatency output lacks %q — the attribution split went missing:\n%s", want, out)
+					}
+				}
+			}
+		})
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"condaccess/internal/ds/lazylist"
 	"condaccess/internal/ds/queue"
 	"condaccess/internal/ds/stack"
+	"condaccess/internal/latency"
 	"condaccess/internal/mem"
 	"condaccess/internal/sim"
 	"condaccess/internal/smr"
@@ -74,8 +75,15 @@ type Workload struct {
 	Dist string
 
 	// RecordLatency collects every operation's simulated latency and fills
-	// Result.Latency with its percentiles.
+	// Result.Latency with its exact-sort percentiles (O(ops) memory) —
+	// and, since the two pipelines share the recording pass, Result.Tail.
 	RecordLatency bool
+
+	// RecordTail fills Result.Tail alone: the log-bucketed histograms in
+	// O(buckets) memory, skipping the exact-sort sample slices entirely.
+	// The field participates in the store content address only when set
+	// (omitempty), so pre-existing store keys are untouched.
+	RecordTail bool `json:",omitempty"`
 }
 
 // DefaultOpWork approximates per-operation bookkeeping instructions.
@@ -107,6 +115,16 @@ type Result struct {
 
 	// Latency is filled when W.RecordLatency is set.
 	Latency LatencyStats
+
+	// Tail is the streaming tail-latency record of the measured run, filled
+	// when W.RecordLatency or W.RecordTail is set: the full log-bucketed
+	// latency distribution plus its exact partitions by op kind
+	// (insert/delete/read) and by attribution (useful work vs. absorbed SMR
+	// reclamation pause vs. conditional-access/validation retry), and the
+	// distribution of the reclamation pauses themselves. Unlike Latency it
+	// costs O(buckets) memory however long the trial is, and merges exactly
+	// across threads, phases, and trials.
+	Tail *latency.Tail `json:",omitempty"`
 }
 
 // LatencyStats summarizes the per-operation simulated-latency distribution.

@@ -41,8 +41,13 @@ func goldenWorkload(ds, scheme string) Workload {
 }
 
 // goldenSum fingerprints every field of a Result (including the embedded
-// workload, so a drifting default would also be caught).
+// workload, so a drifting default would also be caught) except the tail
+// histogram, which postdates the pinned files: it is a pointer (its %+v
+// rendering is a nondeterministic address) and its agreement with the
+// pinned exact-sort percentiles is pinned by TestTailMatchesExactOnGoldens
+// instead.
 func goldenSum(res Result) uint64 {
+	res.Tail = nil
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", res)
 	return h.Sum64()

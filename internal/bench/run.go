@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"condaccess/internal/cache"
+	"condaccess/internal/latency"
 	"condaccess/internal/scenario"
 	"condaccess/internal/sim"
 )
@@ -42,7 +43,7 @@ func (r *Runner) Run(w Workload) (Result, error) {
 		return Result{}, err
 	}
 	if r.Store != nil {
-		if res, ok := r.Store.LookupTrial(w); ok {
+		if res, ok := r.Store.LookupTrial(w); ok && !staleTail(w.RecordLatency || w.RecordTail, res.Tail) {
 			return res, nil
 		}
 	}
@@ -73,7 +74,7 @@ func lowerWorkload(w Workload) ScenarioWorkload {
 		Seed: w.Seed, Check: w.Check,
 		SMR: w.SMR, Cache: w.Cache, Slack: w.Slack,
 		Dist: w.Dist, FootprintEvery: w.FootprintEvery,
-		RecordLatency: w.RecordLatency,
+		RecordLatency: w.RecordLatency, RecordTail: w.RecordTail,
 		Scenario: scenario.Scenario{
 			Name: "stationary",
 			Phases: []scenario.Phase{{
@@ -114,6 +115,15 @@ func (r *Runner) acquire(cfg sim.Config) *sim.Machine {
 	}
 	r.machines[key] = m
 	return m
+}
+
+// staleTail reports whether a store hit predates the tail-histogram fields:
+// the spec asks for tail recording but the stored result has none (written
+// by an older binary — the engine tag only tracks golden-pinned simulator
+// output, not the result shape). Such hits are treated as misses and
+// re-simulated, which also overwrites the stale entry.
+func staleTail(wantTail bool, tail *latency.Tail) bool {
+	return wantTail && tail == nil
 }
 
 // Run executes one trial on a fresh machine. Sweeps use a Runner to reuse

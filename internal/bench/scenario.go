@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"condaccess/internal/cache"
+	"condaccess/internal/latency"
 	"condaccess/internal/scenario"
 	"condaccess/internal/sim"
 	"condaccess/internal/smr"
@@ -34,6 +35,9 @@ type ScenarioWorkload struct {
 
 	FootprintEvery int
 	RecordLatency  bool
+	// RecordTail fills the Tail histograms without the exact-sort slices;
+	// see Workload.RecordTail.
+	RecordTail bool `json:",omitempty"`
 
 	Scenario scenario.Scenario
 
@@ -60,6 +64,10 @@ type PhaseSegment struct {
 	LiveNodes  uint64      // allocated-not-freed nodes at phase end
 	// Latency holds this phase's own percentiles when RecordLatency is set.
 	Latency LatencyStats
+	// Tail holds this phase's own tail-latency record (per-kind and
+	// per-attribution histograms) when RecordLatency is set. Phase tails
+	// merge exactly into the trial's Result.Tail.
+	Tail *latency.Tail `json:",omitempty"`
 }
 
 // ScenarioResult is a scenario trial: the familiar whole-trial Result plus
@@ -276,7 +284,7 @@ func compileProfile(p scenario.Profile) (workFn, error) {
 // trial is never cached under two keys.)
 func (r *Runner) RunScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 	if r.Store != nil {
-		if sres, ok := r.Store.LookupScenario(sw); ok {
+		if sres, ok := r.Store.LookupScenario(sw); ok && !staleTail(sw.RecordLatency || sw.RecordTail, sres.Tail) {
 			return sres, nil
 		}
 	}
@@ -327,7 +335,7 @@ func (r *Runner) runScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 		Seed: sw.Seed, Check: sw.Check,
 		SMR: sw.SMR, Cache: sw.Cache, Slack: sw.Slack,
 		Dist: sw.Dist, FootprintEvery: sw.FootprintEvery,
-		RecordLatency: sw.RecordLatency,
+		RecordLatency: sw.RecordLatency, RecordTail: sw.RecordTail,
 	}
 	b, err := build(m, wv)
 	if err != nil {
@@ -366,6 +374,16 @@ func (r *Runner) runScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 	}
 
 	var allLats []uint64
+	// Per-thread tail recorders, reused across phases (Reset keeps the
+	// bucket allocations): recording is O(buckets) memory for the whole
+	// trial, while the exact-sort slices (RecordLatency only — a
+	// RecordTail-only run never allocates them) are O(ops).
+	var tails []latency.Tail
+	var trialTail *latency.Tail
+	if sw.RecordLatency || sw.RecordTail {
+		tails = make([]latency.Tail, sw.Threads)
+		trialTail = &latency.Tail{}
+	}
 	baseOps := 0
 	baseClock := uint64(0)
 	baseRetries := sres.Prefill.Retries
@@ -384,11 +402,15 @@ func (r *Runner) runScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 			prog := &plan.progs[pi][plan.roleOf[i]]
 			rng := rngs[i]
 			var lat *[]uint64
+			var tail *latency.Tail
 			if lats != nil {
 				lat = &lats[i]
 			}
+			if tails != nil {
+				tail = &tails[i]
+			}
 			m.Spawn(func(c *sim.Ctx) {
-				runSegment(c, b, prog, rng, lat, &totalOps, sample)
+				runSegment(c, b, prog, rng, lat, tail, &totalOps, sample)
 			})
 		}
 		m.Run()
@@ -415,6 +437,17 @@ func (r *Runner) runScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 			seg.Latency = computeLatency(phaseAll)
 			allLats = append(allLats, phaseAll...)
 		}
+		if tails != nil {
+			// Merge the per-thread recorders (in thread order, so merges are
+			// deterministic) into this phase's tail, fold that into the
+			// trial tail, and reset the recorders for the next phase.
+			seg.Tail = &latency.Tail{}
+			for i := range tails {
+				seg.Tail.Merge(&tails[i])
+				tails[i].Reset()
+			}
+			trialTail.Merge(seg.Tail)
+		}
 		sres.Phases = append(sres.Phases, seg)
 		baseOps, baseClock, baseRetries, baseCache = totalOps, endClock, endRetries, endCache
 	}
@@ -422,6 +455,7 @@ func (r *Runner) runScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 	if sw.RecordLatency {
 		sres.Latency = computeLatency(allLats)
 	}
+	sres.Tail = trialTail // nil unless tail recording was on
 	sres.Ops = uint64(totalOps)
 	sres.Cycles = m.MaxClock()
 	if sres.Cycles > 0 {
@@ -445,17 +479,16 @@ func RunScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 
 // runSegment is one thread's execution of one phase: think, op, account —
 // the same charge-and-draw sequence per op the stationary engine made, with
-// the phase program supplying thresholds, keys, and think time.
-func runSegment(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG, lat *[]uint64, totalOps *int, sample func()) {
+// the phase program supplying thresholds, keys, and think time. Recording
+// (the exact-sort slice and the tail histograms) is host-side bookkeeping
+// between simulated operations: it charges no cycles, so recorded and
+// unrecorded runs are bit-for-bit identical in simulated behavior.
+func runSegment(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG, lat *[]uint64, tail *latency.Tail, totalOps *int, sample func()) {
 	if prog.ops > 0 {
 		span := float64(prog.ops)
 		for j := 0; j < prog.ops; j++ {
 			c.Work(prog.work(j, float64(j)/span))
-			start := c.Clock()
-			progOp(c, b, prog, rng)
-			if lat != nil {
-				*lat = append(*lat, c.Clock()-start)
-			}
+			measuredOp(c, b, prog, rng, lat, tail)
 			*totalOps++
 			sample()
 		}
@@ -469,23 +502,52 @@ func runSegment(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG, lat *[]uint64,
 			return
 		}
 		c.Work(prog.work(j, float64(elapsed)/span))
-		start := c.Clock()
-		progOp(c, b, prog, rng)
-		if lat != nil {
-			*lat = append(*lat, c.Clock()-start)
-		}
+		measuredOp(c, b, prog, rng, lat, tail)
 		*totalOps++
 		sample()
 	}
 }
 
-// progOp draws and executes one operation under a phase program. The weight
-// thresholds generalize the historical UpdatePct/2 split: lowering a
-// Workload yields insLim=U/2, delLim=U, total=100 — the identical draw and
-// dispatch. For sets the ops are insert/delete/contains; for the stack
-// push/pop/peek; for the queue enqueue/dequeue/peek (or the historical
-// dequeue+enqueue pair when the program says so).
-func progOp(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG) {
+// measuredOp executes one operation, recording its latency sample (exact
+// slice) and its tail classification (kind × attribution histograms) when
+// recording is on. Attribution deltas the executing thread's own
+// pause-cycle and retry counters (sim.Ctx.PauseCycles/RetryCount — the
+// shared per-structure Retries total would blame this op for any
+// concurrent thread's restart) around the op: an op that absorbed a
+// reclamation scan is tagged reclaim (and the pause span itself is
+// recorded), else an op that restarted at least once is tagged retry, else
+// useful — so the attribution counts partition the op count exactly, like
+// the kind counts do.
+func measuredOp(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG, lat *[]uint64, tail *latency.Tail) {
+	var pause0, retries0 uint64
+	if tail != nil {
+		pause0, retries0 = c.PauseCycles(), c.RetryCount()
+	}
+	start := c.Clock()
+	kind := progOp(c, b, prog, rng)
+	if lat != nil {
+		*lat = append(*lat, c.Clock()-start)
+	}
+	if tail != nil {
+		attr := latency.AttrUseful
+		if dp := c.PauseCycles() - pause0; dp != 0 {
+			attr = latency.AttrReclaim
+			tail.RecordPause(dp)
+		} else if c.RetryCount() != retries0 {
+			attr = latency.AttrRetry
+		}
+		tail.Record(kind, attr, c.Clock()-start)
+	}
+}
+
+// progOp draws and executes one operation under a phase program, returning
+// the op's kind tag for the tail recorder. The weight thresholds generalize
+// the historical UpdatePct/2 split: lowering a Workload yields insLim=U/2,
+// delLim=U, total=100 — the identical draw and dispatch. For sets the ops
+// are insert/delete/contains; for the stack push/pop/peek; for the queue
+// enqueue/dequeue/peek (or the historical dequeue+enqueue pair when the
+// program says so).
+func progOp(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG) latency.Kind {
 	p := rng.Uint64n(prog.total)
 	key := prog.gen.Next(rng)
 	if prog.keyOffset != 0 {
@@ -498,26 +560,34 @@ func progOp(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG) {
 		switch {
 		case p < prog.insLim:
 			b.set.Insert(c, key)
+			return latency.KindInsert
 		case p < prog.delLim:
 			b.set.Delete(c, key)
+			return latency.KindDelete
 		default:
 			b.set.Contains(c, key)
+			return latency.KindRead
 		}
 	case b.stk != nil:
 		switch {
 		case p < prog.insLim:
 			b.stk.Push(c, key)
+			return latency.KindInsert
 		case p < prog.delLim:
 			b.stk.Pop(c)
+			return latency.KindDelete
 		default:
 			b.stk.Peek(c)
+			return latency.KindRead
 		}
 	default:
 		switch {
 		case p < prog.insLim:
 			b.que.Enqueue(c, key)
+			return latency.KindInsert
 		case p < prog.delLim:
 			b.que.Dequeue(c)
+			return latency.KindDelete
 		default:
 			if prog.queuePair {
 				// The historical "read": a dequeue+enqueue pair keeping the
@@ -529,6 +599,7 @@ func progOp(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG) {
 			} else {
 				b.que.Peek(c)
 			}
+			return latency.KindRead
 		}
 	}
 }

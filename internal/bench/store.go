@@ -20,9 +20,17 @@ import (
 // TrialStore is a read-through/write-through cache of complete trial
 // results, consulted by Runner.Run and Runner.RunScenario before any
 // simulation happens. A hit must return exactly the Result a cold run would
-// produce (the stored value is the cold run's own serialized output), so
+// produce (the stored value is the cold run's own serialized output —
+// including the tail-latency histograms when the spec records latency), so
 // warm and cold sweeps are byte-identical. Implementations must be safe for
 // concurrent use: the parallel sweep path shares one store across workers.
+//
+// Results gained the Tail histograms (and scan-pause attribution) after the
+// PR 4 envelope format shipped; entries written by older binaries decode
+// with a nil Tail, and the engine tag only tracks golden-pinned simulator
+// output. The Runner therefore treats a hit with a nil Tail as a miss
+// whenever the spec asks for tail recording (staleTail): the trial is
+// re-simulated and the entry overwritten, so stale stores heal in place.
 type TrialStore interface {
 	// LookupTrial returns the cached result of the stationary trial w.
 	LookupTrial(w Workload) (Result, bool)

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"condaccess/internal/cache"
+	"condaccess/internal/latency"
 )
 
 // SweepConfig describes a cross-product experiment: one data structure, a
@@ -36,8 +37,11 @@ type SweepConfig struct {
 
 	// Dist selects the key distribution (default uniform).
 	Dist string
-	// RecordLatency fills each point's Result.Latency.
+	// RecordLatency fills each point's Result.Latency (and Tail).
 	RecordLatency bool
+	// RecordTail fills each point's Result.Tail alone (O(buckets), no
+	// exact-sort slices); see Workload.RecordTail.
+	RecordTail bool
 
 	// Store, when non-nil, caches complete trial results by content-addressed
 	// spec (read-through/write-through, on both execution paths): re-running
@@ -59,6 +63,12 @@ type SweepPoint struct {
 	// Stats summarizes throughput over the point's trials (Stats.Mean ==
 	// Throughput); the spread fields are zero when Trials is 1.
 	Stats Summary
+
+	// Tail summarizes per-op latency over every trial of the point merged
+	// into one histogram (bucket counts add exactly, so this is the
+	// distribution a single Trials-times-longer run would have recorded).
+	// Zero unless RecordLatency or RecordTail is set.
+	Tail latency.Summary
 }
 
 // pointSpec is one cell of the sweep cross product.
@@ -96,6 +106,7 @@ func trialWorkload(cfg SweepConfig, s pointSpec, trial int) Workload {
 		Cache:         cfg.Cache,
 		Dist:          cfg.Dist,
 		RecordLatency: cfg.RecordLatency,
+		RecordTail:    cfg.RecordTail,
 	}
 }
 
@@ -108,6 +119,16 @@ func mergePoint(s pointSpec, trials []Result) SweepPoint {
 		xs[i] = r.Throughput
 	}
 	stats := Summarize(xs)
+	// Merge the trials' total-latency histograms (in trial order; merging is
+	// order-independent, see the latency package's associativity tests) so
+	// the point's tail percentiles cover every recorded op, not just the
+	// last trial's.
+	var merged latency.Hist
+	for _, r := range trials {
+		if r.Tail != nil {
+			merged.Merge(&r.Tail.Total)
+		}
+	}
 	last := trials[len(trials)-1]
 	return SweepPoint{
 		Scheme: s.Scheme, Threads: s.Threads, UpdatePct: s.UpdatePct,
@@ -116,6 +137,7 @@ func mergePoint(s pointSpec, trials []Result) SweepPoint {
 		LiveNodes:  last.Mem.NodeLive(),
 		Result:     last,
 		Stats:      stats,
+		Tail:       merged.Summary(),
 	}
 }
 

@@ -37,6 +37,7 @@ retry:
 	// Tag and validate the root (never marked; the cread tags it).
 	if m, ok := c.CRead(t.Root + layout.OffMark); !ok || m != 0 {
 		t.Retries++
+		c.CountRetry()
 		goto retry
 	}
 	gp, p = 0, 0
@@ -44,12 +45,14 @@ retry:
 		left, ok := c.CRead(curr + layout.OffLeft)
 		if !ok {
 			t.Retries++
+			c.CountRetry()
 			goto retry
 		}
 		if left == 0 { // leaf
 			lk, ok := c.CRead(curr + layout.OffKey)
 			if !ok {
 				t.Retries++
+				c.CountRetry()
 				goto retry
 			}
 			return gp, p, curr, lk
@@ -57,12 +60,14 @@ retry:
 		ckey, ok := c.CRead(curr + layout.OffKey)
 		if !ok {
 			t.Retries++
+			c.CountRetry()
 			goto retry
 		}
 		next := left
 		if key >= ckey {
 			if next, ok = c.CRead(curr + layout.OffRight); !ok {
 				t.Retries++
+				c.CountRetry()
 				goto retry
 			}
 		}
@@ -75,6 +80,7 @@ retry:
 		// Tag the child and validate it was unmarked when tagged (DII).
 		if m, ok := c.CRead(next + layout.OffMark); !ok || m != 0 {
 			t.Retries++
+			c.CountRetry()
 			goto retry
 		}
 		gp, p = p, curr
@@ -104,6 +110,7 @@ func (t *CATree) Insert(c *sim.Ctx, key uint64) bool {
 		}
 		if !core.TryLock(c, p+layout.OffLock) {
 			t.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
@@ -148,12 +155,14 @@ func (t *CATree) Delete(c *sim.Ctx, key uint64) bool {
 		}
 		if !core.TryLock(c, gp+layout.OffLock) {
 			t.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
 		if !core.TryLock(c, p+layout.OffLock) {
 			core.Unlock(c, gp+layout.OffLock)
 			t.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
@@ -161,6 +170,7 @@ func (t *CATree) Delete(c *sim.Ctx, key uint64) bool {
 			core.Unlock(c, gp+layout.OffLock)
 			core.Unlock(c, p+layout.OffLock)
 			t.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}

@@ -58,12 +58,14 @@ retry:
 		ns := freeSlot4(gpSlot, pSlot, currSlot)
 		if !t.R.Protect(c, ns, next, src) {
 			t.Retries++
+			c.CountRetry()
 			goto retry
 		}
 		if validating && curr != t.Root && c.Read(curr+layout.OffMark) != 0 {
 			// hp/he: an unmarked curr at this instant proves next was
 			// reachable after the hazard publish (see lazylist.Guarded.find).
 			t.Retries++
+			c.CountRetry()
 			goto retry
 		}
 		gp, gpSlot = p, pSlot
@@ -106,6 +108,7 @@ func (t *Guarded) Insert(c *sim.Ctx, key uint64) bool {
 				return false
 			}
 			t.Retries++ // a delete of the same key is mid-flight
+			c.CountRetry()
 			continue
 		}
 		spinLock(c, p+layout.OffLock)
@@ -134,6 +137,7 @@ func (t *Guarded) Insert(c *sim.Ctx, key uint64) bool {
 		}
 		unlock(c, p+layout.OffLock)
 		t.Retries++
+		c.CountRetry()
 	}
 }
 
@@ -183,5 +187,6 @@ func (t *Guarded) Delete(c *sim.Ctx, key uint64) bool {
 		unlock(c, p+layout.OffLock)
 		unlock(c, leaf+layout.OffLock)
 		t.Retries++
+		c.CountRetry()
 	}
 }

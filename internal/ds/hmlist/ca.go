@@ -39,6 +39,7 @@ retry:
 	pn, ok := c.CRead(pred + layout.OffNext)
 	if !ok {
 		l.Retries++
+		c.CountRetry()
 		goto retry
 	}
 	curr = clearMark(pn)
@@ -48,6 +49,7 @@ retry:
 		cn, ok := c.CRead(curr + layout.OffNext)
 		if !ok {
 			l.Retries++
+			c.CountRetry()
 			goto retry
 		}
 		if marked(cn) {
@@ -56,6 +58,7 @@ retry:
 			// — in which case this thread is the unique unlinker.
 			if !c.CWrite(pred+layout.OffNext, clearMark(cn)) {
 				l.Retries++
+				c.CountRetry()
 				goto retry
 			}
 			l.Helped++
@@ -66,6 +69,7 @@ retry:
 		ck, ok := c.CRead(curr + layout.OffKey)
 		if !ok {
 			l.Retries++
+			c.CountRetry()
 			goto retry
 		}
 		if ck >= key {
@@ -108,6 +112,7 @@ func (l *CAList) Insert(c *sim.Ctx, key uint64) bool {
 			return true
 		}
 		l.Retries++
+		c.CountRetry()
 		c.UntagAll()
 	}
 }
@@ -127,6 +132,7 @@ func (l *CAList) Delete(c *sim.Ctx, key uint64) bool {
 		// CAS(curr.next, cn, cn|mark); revocation subsumes the comparison.
 		if !c.CWrite(curr+layout.OffNext, cn|markBit) { // LP
 			l.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}

@@ -38,6 +38,7 @@ retry:
 	currSlot := 0
 	if !l.R.Protect(c, currSlot, curr, pred+layout.OffNext) {
 		l.Retries++
+		c.CountRetry()
 		goto retry
 	}
 	for {
@@ -47,6 +48,7 @@ retry:
 			// curr (unmarked), which also proves pred itself was not snipped.
 			if !c.CAS(pred+layout.OffNext, curr, clearMark(cn)) {
 				l.Retries++
+				c.CountRetry()
 				goto retry
 			}
 			l.Helped++
@@ -55,6 +57,7 @@ retry:
 			ns := freeSlot(predSlot, currSlot)
 			if !l.R.Protect(c, ns, next, pred+layout.OffNext) {
 				l.Retries++
+				c.CountRetry()
 				goto retry
 			}
 			curr, currSlot = next, ns
@@ -68,6 +71,7 @@ retry:
 		ns := freeSlot(predSlot, currSlot)
 		if !l.R.Protect(c, ns, next, curr+layout.OffNext) {
 			l.Retries++
+			c.CountRetry()
 			goto retry
 		}
 		// For hp/he the pointer re-read in Protect proved curr.next still
@@ -115,6 +119,7 @@ func (l *Guarded) Insert(c *sim.Ctx, key uint64) bool {
 			return true
 		}
 		l.Retries++
+		c.CountRetry()
 	}
 }
 
@@ -130,6 +135,7 @@ func (l *Guarded) Delete(c *sim.Ctx, key uint64) bool {
 		}
 		if !c.CAS(curr+layout.OffNext, cn, cn|markBit) { // LP (logical delete)
 			l.Retries++
+			c.CountRetry()
 			continue
 		}
 		// Physical unlink: on success retire here; on failure a helping

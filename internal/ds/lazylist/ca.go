@@ -46,11 +46,13 @@ retry:
 	m, ok := c.CRead(pred + layout.OffMark)
 	if !ok || m != 0 {
 		l.Retries++
+		c.CountRetry()
 		goto retry
 	}
 	curr, ok = c.CRead(pred + layout.OffNext)
 	if !ok {
 		l.Retries++
+		c.CountRetry()
 		goto retry
 	}
 	// VALIDATE(curr): the cread of the mark both tags curr and checks that
@@ -58,11 +60,13 @@ retry:
 	m, ok = c.CRead(curr + layout.OffMark)
 	if !ok || m != 0 {
 		l.Retries++
+		c.CountRetry()
 		goto retry
 	}
 	currKey, ok = c.CRead(curr + layout.OffKey)
 	if !ok {
 		l.Retries++
+		c.CountRetry()
 		goto retry
 	}
 	for currKey < key {
@@ -71,16 +75,19 @@ retry:
 		curr, ok = c.CRead(pred + layout.OffNext)
 		if !ok {
 			l.Retries++
+			c.CountRetry()
 			goto retry
 		}
 		m, ok = c.CRead(curr + layout.OffMark)
 		if !ok || m != 0 {
 			l.Retries++
+			c.CountRetry()
 			goto retry
 		}
 		currKey, ok = c.CRead(curr + layout.OffKey)
 		if !ok {
 			l.Retries++
+			c.CountRetry()
 			goto retry
 		}
 	}
@@ -107,12 +114,14 @@ func (l *CAList) Insert(c *sim.Ctx, key uint64) bool {
 		}
 		if !core.TryLock(c, pred+layout.OffLock) {
 			l.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
 		if !core.TryLock(c, curr+layout.OffLock) {
 			core.Unlock(c, pred+layout.OffLock)
 			l.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
@@ -142,12 +151,14 @@ func (l *CAList) Delete(c *sim.Ctx, key uint64) bool {
 		}
 		if !core.TryLock(c, pred+layout.OffLock) {
 			l.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
 		if !core.TryLock(c, curr+layout.OffLock) {
 			core.Unlock(c, pred+layout.OffLock)
 			l.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}

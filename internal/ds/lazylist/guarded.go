@@ -51,6 +51,7 @@ retry:
 	currSlot := 0
 	if !l.R.Protect(c, currSlot, curr, pred+layout.OffNext) {
 		l.Retries++
+		c.CountRetry()
 		goto retry
 	}
 	// The head is never marked, so a validated protect from the head needs
@@ -64,6 +65,7 @@ retry:
 		ns := freeSlot(predSlot, currSlot)
 		if !l.R.Protect(c, ns, next, curr+layout.OffNext) {
 			l.Retries++
+			c.CountRetry()
 			goto retry
 		}
 		if validating && c.Read(curr+layout.OffMark) != 0 {
@@ -72,6 +74,7 @@ retry:
 			// proves curr — and therefore next — was reachable after the
 			// hazard was published, so next cannot have been retired before.
 			l.Retries++
+			c.CountRetry()
 			goto retry
 		}
 		pred, predSlot = curr, currSlot
@@ -118,6 +121,7 @@ func (l *Guarded) Insert(c *sim.Ctx, key uint64) bool {
 				return false
 			}
 			l.Retries++
+			c.CountRetry()
 			continue
 		}
 		spinLock(c, pred+layout.OffLock)
@@ -136,6 +140,7 @@ func (l *Guarded) Insert(c *sim.Ctx, key uint64) bool {
 		unlock(c, pred+layout.OffLock)
 		unlock(c, curr+layout.OffLock)
 		l.Retries++
+		c.CountRetry()
 	}
 }
 
@@ -165,5 +170,6 @@ func (l *Guarded) Delete(c *sim.Ctx, key uint64) bool {
 		unlock(c, pred+layout.OffLock)
 		unlock(c, curr+layout.OffLock)
 		l.Retries++
+		c.CountRetry()
 	}
 }

@@ -130,68 +130,102 @@ func TestSequentialOracle(t *testing.T) {
 	}
 }
 
-// TestCrossSchemeDifferential runs the same seeded workload under every
-// variant and requires the final structure contents to be identical across
-// reclamation schemes. The workload is single-threaded, so the operation
-// sequence — drawn from the machine-seeded RNG, which does not depend on the
-// scheme — fully determines the final key set; the scheme only decides when
-// unlinked nodes are freed. Any divergence (a key present under hp but
-// absent under ca, say) is a structure or reclamation bug, caught here
-// without an oracle: the implementations check each other.
-func TestCrossSchemeDifferential(t *testing.T) {
-	const keyRange, nOps = 40, 800
-	run := func(t *testing.T, v variant) [keyRange + 1]bool {
-		t.Helper()
-		m := sim.New(sim.Config{Cores: 1, Seed: 5, Check: true})
-		s, err := v.build(m, 1)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var final [keyRange + 1]bool
-		m.Spawn(func(c *sim.Ctx) {
-			rng := c.Rand()
-			for j := 0; j < nOps; j++ {
-				key := rng.Uint64n(keyRange) + 1
-				switch rng.Intn(3) {
-				case 0:
-					s.Insert(c, key)
-				case 1:
-					s.Delete(c, key)
-				default:
-					s.Contains(c, key)
-				}
-			}
-			for k := uint64(1); k <= keyRange; k++ {
-				final[k] = s.Contains(c, k)
-			}
-		})
-		m.Run()
-		return final
+// setOp is one operation of a pre-compiled single-threaded program: the
+// unit the reusable differential harness below executes. Programs are
+// compiled once (from a seeded RNG or a random scenario spec, see
+// scenario_differential_test.go) and replayed against every variant, so the
+// op stream cannot depend on the implementation under test.
+type setOp struct {
+	kind uint8 // 0 insert, 1 delete, 2 contains
+	key  uint64
+}
+
+// runProgram replays prog single-threaded on a fresh checked machine and
+// returns every operation's boolean result plus the final membership of
+// [1, keyRange]. Single-threaded set semantics are deterministic, so two
+// correct variants must agree on both, whatever their reclamation scheme.
+func runProgram(t *testing.T, v variant, prog []setOp, keyRange uint64) (rets []bool, final []bool) {
+	t.Helper()
+	m := sim.New(sim.Config{Cores: 1, Seed: 5, Check: true})
+	s, err := v.build(m, 1)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Group variants by structure; the CA variant of each structure is the
-	// reference the guarded schemes must match.
+	rets = make([]bool, len(prog))
+	final = make([]bool, keyRange+1)
+	m.Spawn(func(c *sim.Ctx) {
+		for i, op := range prog {
+			switch op.kind {
+			case 0:
+				rets[i] = s.Insert(c, op.key)
+			case 1:
+				rets[i] = s.Delete(c, op.key)
+			default:
+				rets[i] = s.Contains(c, op.key)
+			}
+		}
+		for k := uint64(1); k <= keyRange; k++ {
+			final[k] = s.Contains(c, k)
+		}
+	})
+	m.Run()
+	return rets, final
+}
+
+// variantsByDS groups the variants by structure; the first (CA) variant of
+// each structure is the reference the guarded schemes must match.
+func variantsByDS() map[string][]variant {
 	byDS := map[string][]variant{}
 	for _, v := range variants() {
 		ds := v.name[:strings.Index(v.name, "/")]
 		byDS[ds] = append(byDS[ds], v)
 	}
-	for ds, vs := range byDS {
-		vs := vs
-		t.Run(ds, func(t *testing.T) {
-			if len(vs) < 2 {
-				t.Fatalf("%s: only %d variants, differential test needs >= 2", ds, len(vs))
-			}
-			ref := run(t, vs[0])
-			for _, v := range vs[1:] {
-				got := run(t, v)
-				for k := uint64(1); k <= keyRange; k++ {
-					if got[k] != ref[k] {
-						t.Errorf("%s vs %s: key %d present=%v vs %v", v.name, vs[0].name, k, got[k], ref[k])
-					}
+	return byDS
+}
+
+// requireVariantsAgree replays prog against every variant of every
+// structure and reports any divergence in per-op results or final contents.
+func requireVariantsAgree(t *testing.T, what string, prog []setOp, keyRange uint64) {
+	t.Helper()
+	for ds, vs := range variantsByDS() {
+		if len(vs) < 2 {
+			t.Fatalf("%s: only %d variants, differential test needs >= 2", ds, len(vs))
+		}
+		refRets, refFinal := runProgram(t, vs[0], prog, keyRange)
+		for _, v := range vs[1:] {
+			rets, final := runProgram(t, v, prog, keyRange)
+			for i := range rets {
+				if rets[i] != refRets[i] {
+					t.Errorf("%s: op %d (%v key %d): %s returned %v, %s returned %v",
+						what, i, prog[i].kind, prog[i].key, v.name, rets[i], vs[0].name, refRets[i])
+					break // one op report per variant is enough
 				}
 			}
-		})
+			for k := uint64(1); k <= keyRange; k++ {
+				if final[k] != refFinal[k] {
+					t.Errorf("%s: %s vs %s: key %d present=%v vs %v", what, v.name, vs[0].name, k, final[k], refFinal[k])
+				}
+			}
+		}
 	}
+}
+
+// TestCrossSchemeDifferential runs the same seeded workload under every
+// variant and requires per-operation results and the final structure
+// contents to be identical across reclamation schemes. The workload is
+// single-threaded and pre-compiled, so the operation sequence does not
+// depend on the scheme; the scheme only decides when unlinked nodes are
+// freed. Any divergence (a key present under hp but absent under ca, say)
+// is a structure or reclamation bug, caught here without an oracle: the
+// implementations check each other.
+func TestCrossSchemeDifferential(t *testing.T) {
+	const keyRange, nOps = 40, 800
+	rng := sim.NewRNG(5)
+	prog := make([]setOp, nOps)
+	for i := range prog {
+		prog[i] = setOp{kind: uint8(rng.Intn(3)), key: rng.Uint64n(keyRange) + 1}
+	}
+	requireVariantsAgree(t, "seeded-uniform", prog, keyRange)
 }
 
 // TestConcurrentFinalStateAgreesWithReplay runs every implementation under

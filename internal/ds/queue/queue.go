@@ -48,12 +48,14 @@ func (q *CA) Enqueue(c *sim.Ctx, key uint64) {
 		t, ok := c.CRead(q.tailAddr) // tags the tail-pointer line
 		if !ok {
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
 		next, ok := c.CRead(t + layout.OffNext) // tags node t
 		if !ok {
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
@@ -62,11 +64,13 @@ func (q *CA) Enqueue(c *sim.Ctx, key uint64) {
 			// tail has moved on; re-read either way.
 			c.CWrite(q.tailAddr, next)
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
 		if !c.CWrite(t+layout.OffNext, n) { // LP
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
@@ -88,12 +92,14 @@ func (q *CA) Dequeue(c *sim.Ctx) (key uint64, ok bool) {
 		h, ok := c.CRead(q.headAddr) // tags the head-pointer line
 		if !ok {
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
 		next, ok := c.CRead(h + layout.OffNext) // tags node h
 		if !ok {
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
@@ -105,12 +111,14 @@ func (q *CA) Dequeue(c *sim.Ctx) (key uint64, ok bool) {
 		t, ok2 := c.CRead(q.tailAddr)
 		if !ok2 {
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
 		if t == h {
 			c.CWrite(q.tailAddr, next) // help; outcome re-checked on retry
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
@@ -118,11 +126,13 @@ func (q *CA) Dequeue(c *sim.Ctx) (key uint64, ok bool) {
 		key, ok = c.CRead(next + layout.OffKey)
 		if !ok {
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
 		if !c.CWrite(q.headAddr, next) { // LP
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
@@ -148,12 +158,14 @@ func (q *CA) Peek(c *sim.Ctx) (key uint64, ok bool) {
 		h, ok := c.CRead(q.headAddr) // tags the head-pointer line
 		if !ok {
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
 		next, ok := c.CRead(h + layout.OffNext) // tags node h
 		if !ok {
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
@@ -164,6 +176,7 @@ func (q *CA) Peek(c *sim.Ctx) (key uint64, ok bool) {
 		key, ok = c.CRead(next + layout.OffKey)
 		if !ok {
 			q.Retries++
+			c.CountRetry()
 			c.UntagAll()
 			continue
 		}
@@ -203,16 +216,19 @@ func (q *Guarded) Enqueue(c *sim.Ctx, key uint64) {
 		t := c.Read(q.tailAddr)
 		if !q.r.Protect(c, 0, t, q.tailAddr) {
 			q.Retries++
+			c.CountRetry()
 			continue
 		}
 		next := c.Read(t + layout.OffNext)
 		if c.Read(q.tailAddr) != t {
 			q.Retries++
+			c.CountRetry()
 			continue
 		}
 		if next != 0 {
 			c.CAS(q.tailAddr, t, next) // help
 			q.Retries++
+			c.CountRetry()
 			continue
 		}
 		if c.CAS(t+layout.OffNext, 0, n) { // LP
@@ -220,6 +236,7 @@ func (q *Guarded) Enqueue(c *sim.Ctx, key uint64) {
 			return
 		}
 		q.Retries++
+		c.CountRetry()
 	}
 }
 
@@ -231,12 +248,14 @@ func (q *Guarded) Dequeue(c *sim.Ctx) (key uint64, ok bool) {
 		h := c.Read(q.headAddr)
 		if !q.r.Protect(c, 0, h, q.headAddr) {
 			q.Retries++
+			c.CountRetry()
 			continue
 		}
 		t := c.Read(q.tailAddr)
 		next := c.Read(h + layout.OffNext)
 		if c.Read(q.headAddr) != h {
 			q.Retries++
+			c.CountRetry()
 			continue
 		}
 		if next == 0 {
@@ -245,10 +264,12 @@ func (q *Guarded) Dequeue(c *sim.Ctx) (key uint64, ok bool) {
 		if h == t {
 			c.CAS(q.tailAddr, t, next) // help the lagging tail
 			q.Retries++
+			c.CountRetry()
 			continue
 		}
 		if !q.r.Protect(c, 1, next, h+layout.OffNext) {
 			q.Retries++
+			c.CountRetry()
 			continue
 		}
 		key = c.Read(next + layout.OffKey)
@@ -257,6 +278,7 @@ func (q *Guarded) Dequeue(c *sim.Ctx) (key uint64, ok bool) {
 			return key, true
 		}
 		q.Retries++
+		c.CountRetry()
 	}
 }
 
@@ -270,11 +292,13 @@ func (q *Guarded) Peek(c *sim.Ctx) (key uint64, ok bool) {
 		h := c.Read(q.headAddr)
 		if !q.r.Protect(c, 0, h, q.headAddr) {
 			q.Retries++
+			c.CountRetry()
 			continue
 		}
 		next := c.Read(h + layout.OffNext)
 		if c.Read(q.headAddr) != h {
 			q.Retries++
+			c.CountRetry()
 			continue
 		}
 		if next == 0 {
@@ -282,11 +306,13 @@ func (q *Guarded) Peek(c *sim.Ctx) (key uint64, ok bool) {
 		}
 		if !q.r.Protect(c, 1, next, h+layout.OffNext) {
 			q.Retries++
+			c.CountRetry()
 			continue
 		}
 		key = c.Read(next + layout.OffKey)
 		if c.Read(q.headAddr) != h {
 			q.Retries++
+			c.CountRetry()
 			continue
 		}
 		return key, true

@@ -1,0 +1,123 @@
+// The scenario-driven structural differential: random scenario.Scenario
+// specs (random phases, weights, roles, distributions, key windows, hotspot
+// shifts) are compiled into deterministic single-threaded op programs and
+// replayed through the reusable oracle harness against every variant —
+// every structure under CA and under every reclamation scheme — requiring
+// identical per-op results and final contents throughout. This is the
+// structure-level half of the differential fuzz suite; the engine-level
+// half (accounting and tail invariants through the full RunScenario
+// pipeline) lives in internal/bench.
+package ds_test
+
+import (
+	"fmt"
+	"testing"
+
+	"condaccess/internal/scenario"
+	"condaccess/internal/sim"
+)
+
+// compileScenarioOps lowers a scenario into a single-threaded op program:
+// for each phase, Ops draws against the effective weight table, keyed from
+// the phase's window with its hotspot shift applied — the same thresholds
+// and rotation the bench engine uses. One RNG stream carries across phases.
+// Distributions: "zipf" is interpreted as a deterministic square-skew here
+// (this harness defines its own execution of the spec — the assertion is
+// cross-variant agreement on one stream, so any deterministic
+// interpretation is sound and a skewed one stresses hot keys).
+func compileScenarioOps(sc scenario.Scenario, seed, defaultRange uint64) []setOp {
+	rng := sim.NewRNG(seed ^ 0xD1FFE7E4)
+
+	// Single-threaded role resolution, mirroring the bench engine: roles
+	// take threads in declaration order, so thread 0 belongs to the first
+	// role with a nonzero allotment (the catch-all absorbs the remainder —
+	// with one thread, whatever the fixed counts left over).
+	var roleW *scenario.Weights
+	fixed := 0
+	for _, r := range sc.Roles {
+		fixed += r.Count
+	}
+	for _, r := range sc.Roles {
+		n := r.Count
+		if n == 0 {
+			n = 1 - fixed
+		}
+		if n > 0 {
+			roleW = r.Weights
+			break
+		}
+	}
+
+	var prog []setOp
+	for _, ph := range sc.Phases {
+		w := ph.Weights
+		if roleW != nil {
+			w = *roleW
+		}
+		insLim := uint64(w.Insert)
+		delLim := uint64(w.Insert + w.Delete)
+		total := uint64(w.Total())
+		kr := ph.KeyRange
+		if kr == 0 {
+			kr = defaultRange
+		}
+		offset := uint64(ph.KeyShift * float64(kr))
+		for j := 0; j < ph.Ops; j++ {
+			p := rng.Uint64n(total)
+			key := rng.Uint64n(kr)
+			if ph.Dist == "zipf" {
+				key = key * key / kr // deterministic skew toward low keys
+			}
+			key++
+			if offset != 0 {
+				key = (key-1+offset)%kr + 1
+			}
+			kind := uint8(2)
+			switch {
+			case p < insLim:
+				kind = 0
+			case p < delLim:
+				kind = 1
+			}
+			prog = append(prog, setOp{kind: kind, key: key})
+		}
+	}
+	return prog
+}
+
+// scenarioDifferential generates the seed's scenario, compiles it, and
+// requires every variant of every structure to agree on it.
+func scenarioDifferential(t *testing.T, seed uint64) {
+	t.Helper()
+	const keyRange = 96
+	sc := scenario.Random(seed)
+	prog := compileScenarioOps(sc, seed, keyRange)
+	if len(prog) == 0 {
+		t.Fatalf("seed %d: empty program", seed)
+	}
+	requireVariantsAgree(t, fmt.Sprintf("scenario seed %d", seed), prog, keyRange)
+}
+
+// TestScenarioStructuralDifferential is the seeded quick mode: a fixed
+// spread of random scenario specs, run on every variant, suitable for every
+// CI run.
+func TestScenarioStructuralDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			scenarioDifferential(t, seed)
+		})
+	}
+}
+
+// FuzzScenarioStructuralDifferential lets the fuzzer pick generator seeds
+// beyond the quick spread.
+func FuzzScenarioStructuralDifferential(f *testing.F) {
+	for seed := uint64(0); seed < 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		scenarioDifferential(t, seed)
+	})
+}

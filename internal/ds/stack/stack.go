@@ -43,6 +43,7 @@ func (s *CA) Push(c *sim.Ctx, key uint64) {
 		t, ok := c.CRead(s.topAddr)
 		if !ok {
 			c.UntagAll()
+			c.CountRetry()
 			continue
 		}
 		// The new node is private until linked: plain store.
@@ -52,6 +53,7 @@ func (s *CA) Push(c *sim.Ctx, key uint64) {
 			return
 		}
 		c.UntagAll()
+		c.CountRetry()
 	}
 }
 
@@ -65,6 +67,7 @@ func (s *CA) Pop(c *sim.Ctx) (key uint64, ok bool) {
 		t, ok := c.CRead(s.topAddr)
 		if !ok {
 			c.UntagAll()
+			c.CountRetry()
 			continue
 		}
 		if t == 0 {
@@ -76,10 +79,12 @@ func (s *CA) Pop(c *sim.Ctx) (key uint64, ok bool) {
 		next, ok := c.CRead(t + layout.OffNext)
 		if !ok {
 			c.UntagAll()
+			c.CountRetry()
 			continue
 		}
 		if !c.CWrite(s.topAddr, next) { // LP
 			c.UntagAll()
+			c.CountRetry()
 			continue
 		}
 		// We unlinked t: it is now private. A plain read is safe, and the
@@ -101,6 +106,7 @@ func (s *CA) Peek(c *sim.Ctx) (key uint64, ok bool) {
 		t, ok := c.CRead(s.topAddr)
 		if !ok {
 			c.UntagAll()
+			c.CountRetry()
 			continue
 		}
 		if t == 0 {
@@ -110,6 +116,7 @@ func (s *CA) Peek(c *sim.Ctx) (key uint64, ok bool) {
 		key, ok = c.CRead(t + layout.OffKey)
 		if !ok {
 			c.UntagAll()
+			c.CountRetry()
 			continue
 		}
 		c.UntagAll()
@@ -143,6 +150,7 @@ func (s *Guarded) Push(c *sim.Ctx, key uint64) {
 		if c.CAS(s.topAddr, t, n) {
 			break
 		}
+		c.CountRetry()
 	}
 	s.r.EndOp(c)
 }
@@ -159,6 +167,7 @@ func (s *Guarded) Pop(c *sim.Ctx) (key uint64, ok bool) {
 			return 0, false
 		}
 		if !s.r.Protect(c, 0, t, s.topAddr) {
+			c.CountRetry()
 			continue
 		}
 		next := c.Read(t + layout.OffNext)
@@ -167,6 +176,7 @@ func (s *Guarded) Pop(c *sim.Ctx) (key uint64, ok bool) {
 			s.r.Retire(c, t)
 			return key, true
 		}
+		c.CountRetry()
 	}
 }
 
@@ -180,6 +190,7 @@ func (s *Guarded) Peek(c *sim.Ctx) (key uint64, ok bool) {
 			return 0, false
 		}
 		if !s.r.Protect(c, 0, t, s.topAddr) {
+			c.CountRetry()
 			continue
 		}
 		return c.Read(t + layout.OffKey), true

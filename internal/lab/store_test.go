@@ -340,3 +340,59 @@ func TestEngineTagScopesLookups(t *testing.T) {
 		t.Fatal("entry visible across engine tags")
 	}
 }
+
+// TestTailSurvivesStoreEnvelope: the tail-latency histograms (per-kind and
+// per-attribution partitions, pause distribution, sparse bucket arrays)
+// round-trip through the serialized envelope exactly, on both the stationary
+// and scenario paths — a warm hit reproduces the cold run's whole Tail.
+func TestTailSurvivesStoreEnvelope(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bench.Runner{Store: st}
+	w := bench.Workload{
+		DS: "list", Scheme: "rcu", Threads: 4, KeyRange: 64,
+		UpdatePct: 100, OpsPerThread: 300, Seed: 9, RecordLatency: true,
+	}
+	cold, err := r.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := r.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Tail == nil || cold.Tail.Pause.Count() == 0 {
+		t.Fatal("cold rcu run recorded no reclamation pauses; workload too small to exercise the envelope")
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm result (incl. Tail) diverges from cold")
+	}
+
+	sw := bench.ScenarioWorkload{
+		DS: "list", Scheme: "hp", Threads: 4, KeyRange: 64, Seed: 9,
+		RecordLatency: true,
+		Scenario: scenario.Scenario{
+			Name: "tail-envelope",
+			Phases: []scenario.Phase{
+				{Name: "churn", Ops: 200, Weights: scenario.Weights{Insert: 50, Delete: 50}},
+				{Name: "read", Ops: 100, Weights: scenario.Weights{Read: 1}},
+			},
+		},
+	}
+	scold, err := r.RunScenario(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swarm, err := r.RunScenario(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scold.Tail == nil || scold.Phases[0].Tail == nil {
+		t.Fatal("scenario cold run carries no tail records")
+	}
+	if !reflect.DeepEqual(scold, swarm) {
+		t.Fatalf("warm scenario result (incl. per-phase Tails) diverges from cold")
+	}
+}

@@ -1,0 +1,415 @@
+// Package latency is the streaming tail-latency subsystem: a fixed-layout,
+// log-bucketed (HDR-style) cycle histogram with O(buckets) memory regardless
+// of sample count, exact sample counts per bucket, and lossless merging
+// across threads, phases, and trials.
+//
+// The paper's core critique of batch-based reclamation is tail latency —
+// "occasional freeing of large batches causes long program interruptions" —
+// which an append-every-sample-and-sort pipeline can only report as five
+// percentiles over O(ops) memory. A Hist keeps the whole distribution in a
+// fixed bucket layout instead, so the harness can record every operation of
+// arbitrarily long trials without per-op allocation, merge per-thread
+// recordings exactly (bucket counts add), and still answer any quantile to
+// within one bucket's relative error (1/16, ~6.25%). A Tail bundles the
+// histograms one measured run needs: the total distribution, a per-op-kind
+// split (insert/delete/read), a per-cause split (useful work vs. an absorbed
+// SMR reclamation scan vs. a conditional-access/validation retry), and the
+// distribution of the reclamation pauses themselves — the instrument that
+// says not just how long the tail is but which operations and what cause
+// produced it.
+package latency
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Bucket layout: values below subCount get one exact bucket each; every
+// binary octave [2^e, 2^(e+1)) above that is split into subCount equal
+// sub-buckets, so a bucket's width is at most 2^-subBits of its magnitude.
+const (
+	subBits  = 4
+	subCount = 1 << subBits
+
+	// NumBuckets is the fixed bucket-array length: subCount exact buckets
+	// plus subCount per octave for exponents subBits..63.
+	NumBuckets = subCount + (64-subBits)*subCount
+)
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1
+	return subCount + (e-subBits)*subCount + int((v>>uint(e-subBits))&(subCount-1))
+}
+
+// BucketOf returns the index of the bucket v falls in.
+func BucketOf(v uint64) int { return bucketIndex(v) }
+
+// BucketBounds returns bucket i's value range [lo, hi] (inclusive). Every
+// value in the range maps to i and no other value does.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i < subCount {
+		return uint64(i), uint64(i)
+	}
+	q := i - subCount
+	e := subBits + q/subCount
+	width := uint64(1) << uint(e-subBits)
+	lo = 1<<uint(e) + uint64(q%subCount)*width
+	return lo, lo + width - 1
+}
+
+// Hist is a log-bucketed histogram of uint64 samples (simulated cycles).
+// The zero value is empty and ready to use; the bucket array is allocated
+// on the first Record and never grows, so recording is allocation-free after
+// that warm-up. Hist is not safe for concurrent use — the harness keeps one
+// per simulated thread and merges.
+type Hist struct {
+	counts []uint64 // len NumBuckets once allocated
+	n      uint64
+	sum    uint64
+	min    uint64 // valid when n > 0
+	max    uint64
+}
+
+// Record adds one sample.
+func (h *Hist) Record(v uint64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, NumBuckets)
+	}
+	h.counts[bucketIndex(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Merge folds o into h. Bucket counts add exactly, so merging per-thread,
+// per-phase, or per-trial histograms loses nothing: the merged histogram is
+// identical to one that recorded every sample directly.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, NumBuckets)
+	}
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Reset empties the histogram, keeping the bucket allocation.
+func (h *Hist) Reset() {
+	if h.counts != nil {
+		clear(h.counts)
+	}
+	h.n, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Sum returns the sum of all recorded samples.
+func (h *Hist) Sum() uint64 { return h.sum }
+
+// Mean returns the exact sample mean (sums are tracked exactly, not
+// reconstructed from buckets); zero when empty.
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Min and Max return the exact extreme samples (tracked alongside the
+// buckets), zero when empty.
+func (h *Hist) Min() uint64 { return h.min }
+func (h *Hist) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound for the p-quantile sample: the upper edge
+// of the bucket holding the sample of rank floor(p*(n-1)) — the same rank
+// convention the exact-sort pipeline uses — clamped to the exact maximum.
+// The true sample lies in the returned bucket, so the estimate is within one
+// bucket's relative error (at most 1/16 of its magnitude) above the truth.
+func (h *Hist) Quantile(p float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(h.n-1))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			_, hi := BucketBounds(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max // unreachable: counts sum to n
+}
+
+// Bucket is one non-empty histogram bucket, for CDF/figure export.
+type Bucket struct {
+	Lo, Hi uint64 // value range (inclusive)
+	Count  uint64
+}
+
+// Buckets returns the non-empty buckets in ascending value order.
+func (h *Hist) Buckets() []Bucket {
+	var bs []Bucket
+	for i, c := range h.counts {
+		if c != 0 {
+			lo, hi := BucketBounds(i)
+			bs = append(bs, Bucket{Lo: lo, Hi: hi, Count: c})
+		}
+	}
+	return bs
+}
+
+// Summary is the headline view of one histogram: the percentile row the
+// harness tables print. P50..P999 are bucket upper bounds (within one
+// bucket's relative error); Max and Mean are exact.
+type Summary struct {
+	Samples uint64  `json:"samples"`
+	P50     uint64  `json:"p50"`
+	P90     uint64  `json:"p90"`
+	P99     uint64  `json:"p99"`
+	P999    uint64  `json:"p999"`
+	Max     uint64  `json:"max"`
+	Mean    float64 `json:"mean"`
+}
+
+// Summary computes the headline percentiles.
+func (h *Hist) Summary() Summary {
+	if h.n == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Samples: h.n,
+		P50:     h.Quantile(0.50),
+		P90:     h.Quantile(0.90),
+		P99:     h.Quantile(0.99),
+		P999:    h.Quantile(0.999),
+		Max:     h.max,
+		Mean:    h.Mean(),
+	}
+}
+
+// histJSON is the serialized form: scalar stats plus the non-empty buckets
+// as parallel index/count arrays (sparse — a trial touches a few dozen of
+// the 976 buckets). Field order is fixed, so the bytes are deterministic
+// and store envelopes round-trip bit for bit.
+type histJSON struct {
+	Count uint64   `json:"count"`
+	Sum   uint64   `json:"sum,omitempty"`
+	Min   uint64   `json:"min,omitempty"`
+	Max   uint64   `json:"max,omitempty"`
+	Idx   []int    `json:"idx,omitempty"`
+	N     []uint64 `json:"n,omitempty"`
+}
+
+// MarshalJSON encodes the histogram sparsely.
+func (h Hist) MarshalJSON() ([]byte, error) {
+	j := histJSON{Count: h.n, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.counts {
+		if c != 0 {
+			j.Idx = append(j.Idx, i)
+			j.N = append(j.N, c)
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes a sparse histogram. An empty histogram decodes to
+// the zero Hist (no bucket allocation), matching what Marshal produced it
+// from.
+func (h *Hist) UnmarshalJSON(data []byte) error {
+	var j histJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Idx) != len(j.N) {
+		return fmt.Errorf("latency: histogram idx/count length mismatch: %d vs %d", len(j.Idx), len(j.N))
+	}
+	*h = Hist{n: j.Count, sum: j.Sum, min: j.Min, max: j.Max}
+	if len(j.Idx) == 0 {
+		return nil
+	}
+	h.counts = make([]uint64, NumBuckets)
+	for k, i := range j.Idx {
+		if i < 0 || i >= NumBuckets {
+			return fmt.Errorf("latency: histogram bucket index %d out of range", i)
+		}
+		h.counts[i] = j.N[k]
+	}
+	return nil
+}
+
+// Kind tags a recorded operation by what it did: the set/stack/queue
+// insert-like, delete-like, and read-like slots of the harness weight
+// tables.
+type Kind uint8
+
+const (
+	KindInsert Kind = iota
+	KindDelete
+	KindRead
+)
+
+// Attr tags a recorded operation by what its latency was spent on: plain
+// useful work, absorbing an SMR reclamation scan/free pass (the paper's
+// batching-pause critique), or restarting after a conditional-access or
+// validation failure. Every operation gets exactly one attribution —
+// reclamation takes precedence over retry — so the per-attribution counts
+// partition the op count just like the per-kind counts do.
+type Attr uint8
+
+const (
+	AttrUseful Attr = iota
+	AttrReclaim
+	AttrRetry
+)
+
+// Tail is the full tail-latency record of one measured window (a phase, a
+// trial, or a merge of either): the total per-op latency distribution, its
+// exact partitions by op kind and by attribution, and the distribution of
+// the reclamation pauses themselves. Pause samples are pause durations, not
+// op latencies, so Pause.Count is the number of ops that absorbed at least
+// one scan (back-to-back scans within one op merge into one pause), not a
+// partition of the op count.
+type Tail struct {
+	Total  Hist `json:"total"`
+	Insert Hist `json:"insert"`
+	Delete Hist `json:"delete"`
+	Read   Hist `json:"read"`
+
+	Useful  Hist `json:"useful"`
+	Reclaim Hist `json:"reclaim"`
+	Retry   Hist `json:"retry"`
+
+	Pause Hist `json:"pause"`
+}
+
+// Kind returns the histogram for op kind k.
+func (t *Tail) Kind(k Kind) *Hist {
+	switch k {
+	case KindInsert:
+		return &t.Insert
+	case KindDelete:
+		return &t.Delete
+	default:
+		return &t.Read
+	}
+}
+
+// Attr returns the histogram for attribution a.
+func (t *Tail) Attr(a Attr) *Hist {
+	switch a {
+	case AttrReclaim:
+		return &t.Reclaim
+	case AttrRetry:
+		return &t.Retry
+	default:
+		return &t.Useful
+	}
+}
+
+// Record adds one operation's latency under its kind and attribution tags.
+// Allocation-free once each touched histogram has recorded its first sample.
+func (t *Tail) Record(k Kind, a Attr, v uint64) {
+	t.Total.Record(v)
+	t.Kind(k).Record(v)
+	t.Attr(a).Record(v)
+}
+
+// RecordPause adds one reclamation-pause duration.
+func (t *Tail) RecordPause(v uint64) { t.Pause.Record(v) }
+
+// Merge folds o into t, histogram by histogram.
+func (t *Tail) Merge(o *Tail) {
+	if o == nil {
+		return
+	}
+	t.Total.Merge(&o.Total)
+	t.Insert.Merge(&o.Insert)
+	t.Delete.Merge(&o.Delete)
+	t.Read.Merge(&o.Read)
+	t.Useful.Merge(&o.Useful)
+	t.Reclaim.Merge(&o.Reclaim)
+	t.Retry.Merge(&o.Retry)
+	t.Pause.Merge(&o.Pause)
+}
+
+// Reset empties every histogram, keeping allocations (the harness reuses
+// per-thread Tails across phases).
+func (t *Tail) Reset() {
+	t.Total.Reset()
+	t.Insert.Reset()
+	t.Delete.Reset()
+	t.Read.Reset()
+	t.Useful.Reset()
+	t.Reclaim.Reset()
+	t.Retry.Reset()
+	t.Pause.Reset()
+}
+
+// Rows returns the display rows of the tail table in canonical order: the
+// kind partition, the attribution partition, the pause distribution, and the
+// total. Rows with zero samples are included so partitions read complete.
+func (t *Tail) Rows() []struct {
+	Name string
+	Sum  Summary
+} {
+	type row = struct {
+		Name string
+		Sum  Summary
+	}
+	return []row{
+		{"insert", t.Insert.Summary()},
+		{"delete", t.Delete.Summary()},
+		{"read", t.Read.Summary()},
+		{"useful", t.Useful.Summary()},
+		{"reclaim", t.Reclaim.Summary()},
+		{"retry", t.Retry.Summary()},
+		{"pause", t.Pause.Summary()},
+		{"total", t.Total.Summary()},
+	}
+}
+
+// String renders the tail table (used by the -tail reporting modes).
+func (t *Tail) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %9s %9s %9s %9s %9s %11s\n", "class", "count", "p50", "p99", "p99.9", "max", "mean")
+	for _, r := range t.Rows() {
+		fmt.Fprintf(&b, "%-8s %9d %9d %9d %9d %9d %11.1f\n",
+			r.Name, r.Sum.Samples, r.Sum.P50, r.Sum.P99, r.Sum.P999, r.Sum.Max, r.Sum.Mean)
+	}
+	return b.String()
+}

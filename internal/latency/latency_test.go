@@ -1,0 +1,259 @@
+package latency
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+)
+
+// sample pools spanning the exact region, several octaves, and the extremes.
+func randomSamples(rng *rand.Rand, n int) []uint64 {
+	vs := make([]uint64, n)
+	for i := range vs {
+		switch rng.Intn(4) {
+		case 0:
+			vs[i] = uint64(rng.Intn(subCount)) // exact buckets
+		case 1:
+			vs[i] = uint64(rng.Intn(1 << 12))
+		case 2:
+			vs[i] = uint64(rng.Int63n(1 << 40))
+		default:
+			vs[i] = rng.Uint64()
+		}
+	}
+	return vs
+}
+
+func fromSamples(vs []uint64) *Hist {
+	var h Hist
+	for _, v := range vs {
+		h.Record(v)
+	}
+	return &h
+}
+
+// TestBucketLayout checks the index/bounds pair is a partition: every bucket
+// contains exactly the values that map to it, buckets tile the uint64 range
+// in order, and the relative width bound holds.
+func TestBucketLayout(t *testing.T) {
+	var prevHi uint64
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo > hi {
+			t.Fatalf("bucket %d: lo %d > hi %d", i, lo, hi)
+		}
+		if i == 0 {
+			if lo != 0 {
+				t.Fatalf("bucket 0 starts at %d, want 0", lo)
+			}
+		} else if lo != prevHi+1 {
+			t.Fatalf("bucket %d: lo %d, want %d (buckets must tile)", i, lo, prevHi+1)
+		}
+		prevHi = hi
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(lo=%d) = %d, want %d", lo, got, i)
+		}
+		if got := bucketIndex(hi); got != i {
+			t.Fatalf("bucketIndex(hi=%d) = %d, want %d", hi, got, i)
+		}
+		// One bucket's relative error bound: width <= lo/subCount above the
+		// exact region.
+		if lo >= subCount && hi-lo+1 > lo/subCount {
+			t.Fatalf("bucket %d [%d,%d]: width %d exceeds lo/%d", i, lo, hi, hi-lo+1, subCount)
+		}
+	}
+	if prevHi != ^uint64(0) {
+		t.Fatalf("last bucket ends at %d, want 2^64-1", prevHi)
+	}
+}
+
+// TestMergeAssociativeCommutative: merging is associative and commutative
+// with exact count preservation — any merge tree over any ordering of the
+// per-thread histograms yields the identical histogram.
+func TestMergeAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parts := make([][]uint64, 5)
+	var all []uint64
+	for i := range parts {
+		parts[i] = randomSamples(rng, 200+rng.Intn(300))
+		all = append(all, parts[i]...)
+	}
+
+	direct := fromSamples(all)
+
+	// Left fold in order.
+	var leftFold Hist
+	for _, p := range parts {
+		leftFold.Merge(fromSamples(p))
+	}
+	// Right-leaning tree over a shuffled order.
+	order := rng.Perm(len(parts))
+	var tree Hist
+	for i := len(order) - 1; i >= 0; i-- {
+		sub := fromSamples(parts[order[i]])
+		sub.Merge(&tree)
+		tree = *sub
+	}
+
+	for name, h := range map[string]*Hist{"leftFold": &leftFold, "shuffledTree": &tree} {
+		if h.Count() != uint64(len(all)) {
+			t.Errorf("%s: count %d, want %d", name, h.Count(), len(all))
+		}
+		if h.Sum() != direct.Sum() || h.Min() != direct.Min() || h.Max() != direct.Max() {
+			t.Errorf("%s: scalar stats diverge from direct recording", name)
+		}
+		if !reflect.DeepEqual(h.counts, direct.counts) {
+			t.Errorf("%s: bucket counts diverge from direct recording", name)
+		}
+	}
+}
+
+// TestQuantileWithinOneBucket: for every probed quantile, the exact-sort
+// value of the same rank must lie inside the bucket the histogram answers
+// from — the "within one bucket's relative error" contract.
+func TestQuantileWithinOneBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		vs := randomSamples(rng, 1+rng.Intn(4000))
+		h := fromSamples(vs)
+		sorted := slices.Clone(vs)
+		slices.Sort(sorted)
+		for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			exact := sorted[int(p*float64(len(sorted)-1))]
+			est := h.Quantile(p)
+			if est < exact {
+				t.Fatalf("p=%v: estimate %d below exact %d", p, est, exact)
+			}
+			lo, _ := BucketBounds(bucketIndex(est))
+			if exact < lo {
+				t.Fatalf("p=%v: exact %d not in estimate's bucket [lo %d, est %d]", p, exact, lo, est)
+			}
+		}
+		if h.Quantile(1) != sorted[len(sorted)-1] {
+			t.Fatalf("p=1 must be the exact maximum")
+		}
+	}
+}
+
+// TestRecordAllocationFree pins the O(buckets) memory contract: after the
+// one-time bucket-array warm-up, recording (and quantile queries) allocate
+// nothing, so RecordLatency runs cost O(buckets) — not O(ops) — memory.
+func TestRecordAllocationFree(t *testing.T) {
+	var tl Tail
+	// Warm-up: touch every histogram once so bucket arrays exist.
+	for k := KindInsert; k <= KindRead; k++ {
+		for a := AttrUseful; a <= AttrRetry; a++ {
+			tl.Record(k, a, 100)
+		}
+	}
+	tl.RecordPause(50)
+
+	v := uint64(17)
+	if avg := testing.AllocsPerRun(2000, func() {
+		tl.Record(KindInsert, AttrReclaim, v)
+		tl.RecordPause(v)
+		v = v*2862933555777941757 + 3037000493 // spread across buckets
+	}); avg != 0 {
+		t.Fatalf("Record allocates %v per op after warm-up, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = tl.Total.Quantile(0.99)
+	}); avg != 0 {
+		t.Fatalf("Quantile allocates %v per call, want 0", avg)
+	}
+}
+
+// TestHistJSONRoundTrip: the sparse JSON form reconstructs the histogram
+// exactly (the store envelope persists these).
+func TestHistJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var tl Tail
+	for i := 0; i < 3000; i++ {
+		tl.Record(Kind(rng.Intn(3)), Attr(rng.Intn(3)), randomSamples(rng, 1)[0])
+	}
+	tl.RecordPause(12345)
+
+	data, err := json.Marshal(&tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tail
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tl, back) {
+		t.Fatalf("tail JSON round trip lost information")
+	}
+
+	// Empty histograms stay empty (no bucket allocation) through the trip.
+	var empty, emptyBack Hist
+	data, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &emptyBack); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(empty, emptyBack) {
+		t.Fatalf("empty hist round trip: %+v != %+v", empty, emptyBack)
+	}
+	if emptyBack.counts != nil {
+		t.Fatalf("empty hist decode allocated buckets")
+	}
+
+	// Corrupt envelopes are rejected, not silently mis-decoded.
+	if err := new(Hist).UnmarshalJSON([]byte(`{"count":1,"idx":[1,2],"n":[3]}`)); err == nil {
+		t.Fatal("idx/n length mismatch accepted")
+	}
+	if err := new(Hist).UnmarshalJSON([]byte(`{"count":1,"idx":[99999],"n":[1]}`)); err == nil {
+		t.Fatal("out-of-range bucket index accepted")
+	}
+}
+
+// TestTailPartitions: Record keeps the kind and attribution partitions exact
+// — each sums to Total, bucket for bucket.
+func TestTailPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var tl Tail
+	for i := 0; i < 5000; i++ {
+		tl.Record(Kind(rng.Intn(3)), Attr(rng.Intn(3)), randomSamples(rng, 1)[0])
+	}
+	for name, group := range map[string][]*Hist{
+		"kind": {&tl.Insert, &tl.Delete, &tl.Read},
+		"attr": {&tl.Useful, &tl.Reclaim, &tl.Retry},
+	} {
+		var sum Hist
+		for _, h := range group {
+			sum.Merge(h)
+		}
+		if !reflect.DeepEqual(sum, tl.Total) {
+			t.Errorf("%s partition does not sum to the total histogram", name)
+		}
+	}
+}
+
+// TestResetKeepsAllocation: Reset empties without dropping the bucket array
+// (per-thread Tails are reused across phases), and a reset histogram merges
+// as a no-op.
+func TestResetKeepsAllocation(t *testing.T) {
+	var h Hist
+	h.Record(9)
+	buf := &h.counts[0]
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset histogram not empty")
+	}
+	h.Record(9)
+	if &h.counts[0] != buf {
+		t.Fatal("reset dropped the bucket allocation")
+	}
+	var into Hist
+	into.Record(5)
+	empty := Hist{counts: make([]uint64, NumBuckets)}
+	into.Merge(&empty)
+	if into.Count() != 1 || into.Min() != 5 {
+		t.Fatal("merging an empty histogram changed the target")
+	}
+}

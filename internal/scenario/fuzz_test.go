@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzLoadScenario fuzzes the scenario file format's parse→validate→
+// re-marshal pipeline: any bytes Parse accepts must describe a scenario
+// that (a) passes Validate — Parse's contract — and (b) survives a
+// marshal/re-parse round trip unchanged, so a scenario file a tool echoes
+// back (calab export, a preset dump, a hand edit) still means the same
+// workload. Seeded with every built-in preset, so the corpus starts from
+// realistic shapes (roles, bursts, piecewise profiles) rather than noise.
+func FuzzLoadScenario(f *testing.F) {
+	for _, name := range PresetNames() {
+		sc, err := Preset(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		b, err := json.Marshal(sc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{"name":"x","phases":[{"name":"p","ops":1,"weights":{"read":1}}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return // invalid inputs must be rejected, not crash — done
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted a scenario Validate rejects: %v", err)
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("re-marshal of parsed scenario failed: %v", err)
+		}
+		s2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse of re-marshaled scenario failed: %v\nbytes: %s", err, out)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed the scenario:\n in: %+v\nout: %+v\nbytes: %s", s, s2, out)
+		}
+	})
+}
+
+// TestRandomScenariosValid pins Random's contract: deterministic in the
+// seed, always valid, always ops-bounded, runnable on two threads, and
+// stable through the canonical JSON round trip.
+func TestRandomScenariosValid(t *testing.T) {
+	distinct := false
+	for seed := uint64(0); seed < 500; seed++ {
+		sc := Random(seed)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if min := sc.MinThreads(); min > 2 {
+			t.Fatalf("seed %d: MinThreads %d > 2", seed, min)
+		}
+		if _, ok := sc.TotalOpsHint(); !ok {
+			t.Fatalf("seed %d: not ops-bounded", seed)
+		}
+		if !reflect.DeepEqual(sc, Random(seed)) {
+			t.Fatalf("seed %d: Random not deterministic", seed)
+		}
+		b, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(b)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Fatalf("seed %d: JSON round trip changed the scenario", seed)
+		}
+		if !reflect.DeepEqual(sc.Phases, Random(seed+1).Phases) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("all 500 seeds produced identical phase lists")
+	}
+}

@@ -1,0 +1,80 @@
+package scenario
+
+import "fmt"
+
+// rnd is a small self-contained splitmix64 generator, so Random depends on
+// nothing and a seed means the same scenario everywhere (tests, fuzzers,
+// CI) forever.
+type rnd struct{ s uint64 }
+
+func (r *rnd) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rnd) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Random returns a valid random scenario derived deterministically from
+// seed: 1–4 ops-bounded phases with random weight tables, key-range
+// windows, hotspot shifts, distributions, and intensity profiles, and
+// (half the time) a role table with a catch-all. It is the seed source for
+// the cross-scheme differential fuzz suites: every returned scenario passes
+// Validate (pinned by TestRandomScenariosValid), runs on any thread count
+// (role tables stay within MinThreads 2), and is ops-bounded so the op
+// count per thread is schedule-independent.
+func Random(seed uint64) Scenario {
+	r := &rnd{s: seed}
+	r.next() // decorrelate small seeds
+	sc := Scenario{Name: fmt.Sprintf("random-%d", seed)}
+
+	nPhases := 1 + r.intn(4)
+	for p := 0; p < nPhases; p++ {
+		ph := Phase{
+			Name: fmt.Sprintf("p%d", p),
+			Ops:  30 + r.intn(120),
+		}
+		for ph.Weights.Total() == 0 {
+			ph.Weights = Weights{Insert: r.intn(8), Delete: r.intn(8), Read: r.intn(8)}
+		}
+		switch r.intn(3) {
+		case 0:
+			ph.Dist = "uniform"
+		case 1:
+			ph.Dist = "zipf"
+		}
+		if r.intn(2) == 0 {
+			ph.KeyRange = uint64(8 + r.intn(56)) // a window inside any binding range
+		}
+		ph.KeyShift = float64(r.intn(4)) / 8 // 0, .125, .25, .375
+		switch r.intn(4) {
+		case 0:
+			ph.Profile = Profile{Kind: ProfileConstant, Work: uint64(r.intn(40))}
+		case 1:
+			ph.Profile = Profile{Kind: ProfileRamp, From: uint64(1 + r.intn(30)), To: uint64(1 + r.intn(30))}
+		case 2:
+			period := 2 + r.intn(20)
+			ph.Profile = Profile{Kind: ProfileBurst, Period: period, Len: r.intn(period + 1), BurstWork: uint64(1 + r.intn(100))}
+		case 3:
+			steps := make([]Step, 1+r.intn(3))
+			for i := range steps {
+				steps[i] = Step{Ops: 1 + r.intn(40), Work: uint64(1 + r.intn(50))}
+			}
+			ph.Profile = Profile{Kind: ProfilePiecewise, Steps: steps}
+		}
+		sc.Phases = append(sc.Phases, ph)
+	}
+
+	if r.intn(2) == 0 {
+		// One fixed role plus a catch-all: runs on any binding with >= 2
+		// threads, the differential suites' floor.
+		w := Weights{Insert: r.intn(4), Delete: r.intn(4), Read: 1 + r.intn(8)}
+		sc.Roles = []Role{
+			{Name: "fixed", Count: 1, Weights: &w},
+			{Name: "rest"},
+		}
+	}
+	return sc
+}

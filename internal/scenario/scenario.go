@@ -242,21 +242,48 @@ func (s *Scenario) TotalOpsHint() (n int, ok bool) {
 	return n, ok
 }
 
-// Load reads a scenario from a JSON file and validates it.
+// Parse decodes and validates a scenario from JSON bytes. It is the parse
+// half of Load, exposed so callers (and the fuzz harness) can feed scenarios
+// from any source: Parse(b) succeeding guarantees the scenario is valid and
+// that re-marshaling it yields bytes Parse accepts again with an identical
+// result (pinned by FuzzLoadScenario).
+func Parse(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: parsing: %w", err)
+	}
+	// Canonicalize empty-but-present lists ("roles":[]) to absent: the two
+	// spellings mean the same scenario, and omitempty would otherwise turn
+	// one into the other across a marshal round trip (found by
+	// FuzzLoadScenario).
+	if len(s.Roles) == 0 {
+		s.Roles = nil
+	}
+	for i := range s.Phases {
+		if len(s.Phases[i].Profile.Steps) == 0 {
+			s.Phases[i].Profile.Steps = nil
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// Load reads a scenario from a JSON file and validates it. An unnamed
+// scenario takes the file path as its name.
 func Load(path string) (Scenario, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Scenario{}, fmt.Errorf("scenario: %w", err)
 	}
-	var s Scenario
-	if err := json.Unmarshal(data, &s); err != nil {
-		return Scenario{}, fmt.Errorf("scenario: parsing %s: %w", path, err)
+	s, err := Parse(data)
+	if err != nil {
+		// Parse errors already carry the "scenario:" prefix; add the path.
+		return Scenario{}, fmt.Errorf("%s: %w", path, err)
 	}
 	if s.Name == "" {
 		s.Name = path
-	}
-	if err := s.Validate(); err != nil {
-		return Scenario{}, err
 	}
 	return s, nil
 }

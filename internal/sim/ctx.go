@@ -17,6 +17,20 @@ type Ctx struct {
 	limit   uint64
 	rng     *RNG
 	zeroRun uint64 // consecutive zero-cycle charges (watchdog)
+
+	// Pause-attribution state (BeginPause/EndPause): cycles this thread has
+	// spent inside reclamation-pause brackets, so the harness can attribute
+	// an operation's latency to an absorbed scan/free pass.
+	pauseDepth int
+	pauseMark  uint64
+	pauseTotal uint64
+
+	// retryCount counts this thread's own operation restarts (CountRetry).
+	// The data structures also keep per-structure totals, but those are
+	// shared across threads: a per-op delta of a shared counter would tag
+	// an operation as retried whenever any concurrent thread restarted
+	// inside its window, so attribution reads this thread-local counter.
+	retryCount uint64
 }
 
 // newCtx builds the context a thread executes under, with its first
@@ -195,6 +209,47 @@ func (c *Ctx) Fence() { c.charge(c.m.latFence) }
 
 // Work charges n cycles of local computation.
 func (c *Ctx) Work(n uint64) { c.charge(n) }
+
+// BeginPause opens a pause bracket: until the matching EndPause, every cycle
+// charged to this thread counts as pause time. The reclamation schemes
+// bracket their scan/free passes with it, which is how the harness knows an
+// operation's latency was spent absorbing a batch free rather than doing
+// useful work — the paper's tail-latency critique made attributable.
+// Brackets nest; only the outermost pair measures. Purely observational:
+// no cycles are charged and simulated behavior is unchanged.
+func (c *Ctx) BeginPause() {
+	if c.pauseDepth == 0 {
+		c.pauseMark = *c.clock
+	}
+	c.pauseDepth++
+}
+
+// EndPause closes the innermost pause bracket.
+func (c *Ctx) EndPause() {
+	if c.pauseDepth == 0 {
+		panic("sim: EndPause without BeginPause")
+	}
+	if c.pauseDepth--; c.pauseDepth == 0 {
+		c.pauseTotal += *c.clock - c.pauseMark
+	}
+}
+
+// PauseCycles returns the cycles this thread has spent inside closed pause
+// brackets. The harness samples it before and after each operation; a
+// nonzero delta means the operation absorbed a reclamation pause of exactly
+// that many cycles.
+func (c *Ctx) PauseCycles() uint64 { return c.pauseTotal }
+
+// CountRetry records one operation restart by this thread (a failed
+// conditional access or a validation failure forcing the operation back to
+// the top). The data structures call it wherever they bump their own
+// Retries counters. Purely observational: no cycles are charged.
+func (c *Ctx) CountRetry() { c.retryCount++ }
+
+// RetryCount returns how many times this thread's operations have
+// restarted. Like PauseCycles, the harness deltas it around each operation
+// to attribute that operation's latency.
+func (c *Ctx) RetryCount() uint64 { return c.retryCount }
 
 // PreemptCycles is the modeled cost of an OS context switch.
 const PreemptCycles = 2000

@@ -261,3 +261,69 @@ func TestManyThreadsDeterministic(t *testing.T) {
 		t.Fatal("16-thread run is nondeterministic")
 	}
 }
+
+// TestPauseBrackets: BeginPause/EndPause attribute exactly the cycles
+// charged inside the outermost bracket, nest correctly, survive quantum
+// handoffs (only the bracketing thread's own clock counts), and are purely
+// observational.
+func TestPauseBrackets(t *testing.T) {
+	m := New(Config{Cores: 2, Seed: 1})
+	var pauses [2]uint64
+	for i := 0; i < 2; i++ {
+		m.Spawn(func(c *Ctx) {
+			id := c.ThreadID()
+			c.Work(10)
+			if got := c.PauseCycles(); got != 0 {
+				t.Errorf("thread %d: pause cycles %d before any bracket", id, got)
+			}
+			c.BeginPause()
+			c.Work(300) // crosses quantum boundaries: peers run in between
+			c.BeginPause()
+			c.Work(40) // nested bracket must not double-count
+			c.EndPause()
+			c.Work(60)
+			c.EndPause()
+			c.Work(5)
+			pauses[id] = c.PauseCycles()
+		})
+	}
+	m.Run()
+	for id, got := range pauses {
+		if got != 400 {
+			t.Errorf("thread %d: pause cycles %d, want 400", id, got)
+		}
+	}
+
+	// Unmatched EndPause is a bug in the bracketing code and must fail loudly.
+	m2 := New(Config{Cores: 1, Seed: 1})
+	m2.Spawn(func(c *Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("unmatched EndPause did not panic")
+			}
+		}()
+		c.EndPause()
+	})
+	m2.Run()
+}
+
+// TestRetryCounting: CountRetry/RetryCount are thread-local — one thread's
+// restarts are invisible to another's counter.
+func TestRetryCounting(t *testing.T) {
+	m := New(Config{Cores: 2, Seed: 1})
+	var got [2]uint64
+	for i := 0; i < 2; i++ {
+		i := i
+		m.Spawn(func(c *Ctx) {
+			for j := 0; j <= i*3; j++ {
+				c.CountRetry()
+				c.Work(50)
+			}
+			got[c.ThreadID()] = c.RetryCount()
+		})
+	}
+	m.Run()
+	if got[0] != 1 || got[1] != 4 {
+		t.Fatalf("retry counts %v, want [1 4] (thread-local)", got)
+	}
+}

@@ -114,6 +114,10 @@ func (e *epoch) Retire(c *sim.Ctx, node mem.Addr) {
 // reservations. The reservation reads are real shared-memory reads, so the
 // scan cost (and the cache misses it takes) is charged to the reclaimer.
 func (e *epoch) scan(c *sim.Ctx, pt *epochThread) {
+	// The whole pass is a reclamation pause: the triggering operation
+	// absorbs every cycle charged here (the paper's batching critique).
+	c.BeginPause()
+	defer c.EndPause()
 	e.stats.Scans++
 	minRes := uint64(inf)
 	for _, ra := range e.resAddr {

@@ -124,6 +124,8 @@ func (h *he) Retire(c *sim.Ctx, node mem.Addr) {
 }
 
 func (h *he) scan(c *sim.Ctx, pt *heThread) {
+	c.BeginPause() // the pass is a reclamation pause for the triggering op
+	defer c.EndPause()
 	h.stats.Scans++
 	eras := make([]uint64, 0, len(h.resAddr)*MaxSlots)
 	for t := range h.resAddr {

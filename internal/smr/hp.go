@@ -93,6 +93,8 @@ func (h *hp) Retire(c *sim.Ctx, node mem.Addr) {
 // scan reads every hazard slot of every thread and frees the retired nodes
 // protected by none of them.
 func (h *hp) scan(c *sim.Ctx, pt *hpThread) {
+	c.BeginPause() // the pass is a reclamation pause for the triggering op
+	defer c.EndPause()
 	h.stats.Scans++
 	hazards := make(map[mem.Addr]struct{}, len(h.resAddr)*MaxSlots)
 	for t := range h.resAddr {

@@ -112,6 +112,8 @@ func (r *ibr) Retire(c *sim.Ctx, node mem.Addr) {
 }
 
 func (r *ibr) scan(c *sim.Ctx, pt *ibrThread) {
+	c.BeginPause() // the pass is a reclamation pause for the triggering op
+	defer c.EndPause()
 	r.stats.Scans++
 	type ival struct{ lo, hi uint64 }
 	ivals := make([]ival, len(r.resAddr))
