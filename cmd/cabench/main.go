@@ -106,25 +106,32 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	}, nil
 }
 
-func main() {
-	opt, err := parseArgs(os.Args[1:], os.Stderr)
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its exit code and streams surfaced, so the failure modes
+// (bad flags, unopenable store, unwritable CSV) are pinned by tests: every
+// error path prints exactly one line to stderr — never a panic, never a
+// usage dump — and returns non-zero (2 for command-line errors, 1 for
+// runtime failures).
+func run(args []string, stdout, stderr io.Writer) int {
+	opt, err := parseArgs(args, stderr)
 	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
-			os.Exit(0)
+			return 0
 		}
 		var rep reportedError
 		if !errors.As(err, &rep) {
-			fmt.Fprintln(os.Stderr, "cabench:", err)
+			fmt.Fprintln(stderr, "cabench:", err)
 		}
-		os.Exit(2)
+		return 2
 	}
 	cfg := opt.cfg
 	var store *lab.Store
 	if opt.storePath != "" {
 		st, err := lab.Open(opt.storePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cabench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "cabench:", err)
+			return 1
 		}
 		store = st
 		cfg.Store = st
@@ -136,59 +143,60 @@ func main() {
 		n := 0
 		progress = func(p bench.SweepPoint) {
 			n++
-			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-5s t=%-2d u=%3d%%: %10.1f ops/Mcyc",
+			fmt.Fprintf(stderr, "  [%3d/%3d] %-5s t=%-2d u=%3d%%: %10.1f ops/Mcyc",
 				n, total, p.Scheme, p.Threads, p.UpdatePct, p.Throughput)
 			if lat {
 				l := p.Result.Latency
-				fmt.Fprintf(os.Stderr, "  p50=%d p99=%d p99.9=%d max=%d", l.P50, l.P99, l.P999, l.Max)
+				fmt.Fprintf(stderr, "  p50=%d p99=%d p99.9=%d max=%d", l.P50, l.P99, l.P999, l.Max)
 			}
-			fmt.Fprintln(os.Stderr)
+			fmt.Fprintln(stderr)
 		}
 	}
 	points, err := bench.Sweep(cfg, progress)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cabench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "cabench:", err)
+		return 1
 	}
 	if store != nil {
-		fmt.Fprintln(os.Stderr, store.Stats())
+		fmt.Fprintln(stderr, store.Stats())
 	}
 	for _, u := range cfg.Updates {
-		fmt.Printf("== %s, %d%% updates (%di-%dd), %d keys, %d ops/thread [ops/Mcyc] ==\n",
+		fmt.Fprintf(stdout, "== %s, %d%% updates (%di-%dd), %d keys, %d ops/thread [ops/Mcyc] ==\n",
 			cfg.DS, u, u/2, u/2, cfg.KeyRange, cfg.Ops)
-		fmt.Print(bench.FormatTable(points, u))
-		fmt.Println()
+		fmt.Fprint(stdout, bench.FormatTable(points, u))
+		fmt.Fprintln(stdout)
 	}
 	if opt.tail {
-		printTail(points)
+		printTail(stdout, points)
 	}
 	if opt.csvPath != "" {
 		f, err := os.Create(opt.csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cabench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "cabench:", err)
+			return 1
 		}
 		defer f.Close()
 		if err := bench.WriteCSV(f, cfg.DS, points); err != nil {
-			fmt.Fprintln(os.Stderr, "cabench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "cabench:", err)
+			return 1
 		}
 	}
+	return 0
 }
 
 // printTail renders the per-point tail-latency table: percentiles of the
 // point's trials merged into one histogram (so every recorded op counts,
 // not just the last trial's), with max and mean exact.
-func printTail(points []bench.SweepPoint) {
-	fmt.Println("== tail latency [cycles], all trials merged ==")
-	fmt.Printf("%-6s %4s %4s %10s %8s %8s %8s %8s %10s\n",
+func printTail(w io.Writer, points []bench.SweepPoint) {
+	fmt.Fprintln(w, "== tail latency [cycles], all trials merged ==")
+	fmt.Fprintf(w, "%-6s %4s %4s %10s %8s %8s %8s %8s %10s\n",
 		"scheme", "t", "u%", "samples", "p50", "p99", "p99.9", "max", "mean")
 	for _, p := range points {
 		s := p.Tail
-		fmt.Printf("%-6s %4d %4d %10d %8d %8d %8d %8d %10.1f\n",
+		fmt.Fprintf(w, "%-6s %4d %4d %10d %8d %8d %8d %8d %10.1f\n",
 			p.Scheme, p.Threads, p.UpdatePct, s.Samples, s.P50, s.P99, s.P999, s.Max, s.Mean)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 func splitList(s string) []string {

@@ -2,8 +2,11 @@ package main
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 
 	"condaccess/internal/lab"
@@ -131,5 +134,35 @@ func TestParseArgsTailFlag(t *testing.T) {
 	}
 	if opt.tail || opt.cfg.RecordLatency || opt.cfg.RecordTail {
 		t.Error("tail reporting must be off by default")
+	}
+}
+
+// TestRunFailureModes pins the CLI error contract: every failure exits
+// non-zero after exactly one line on stderr — no panic, no usage dump.
+func TestRunFailureModes(t *testing.T) {
+	plain := filepath.Join(t.TempDir(), "plainfile")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unopenable store", []string{"-store", filepath.Join(plain, "store")}, 1},
+		{"bad thread list", []string{"-threads", "1,x"}, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr %q)", tc.args, code, tc.code, stderr.String())
+			}
+			if got := stderr.String(); strings.Count(got, "\n") != 1 {
+				t.Errorf("stderr is not exactly one line:\n%s", got)
+			} else if strings.Contains(got, "Usage") || !strings.HasPrefix(got, "cabench: ") {
+				t.Errorf("stderr is not a bare one-line diagnosis:\n%s", got)
+			}
+		})
 	}
 }

@@ -119,29 +119,36 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	}, nil
 }
 
-func main() {
-	opt, err := parseArgs(os.Args[1:], os.Stderr)
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its exit code and streams surfaced, so the failure modes
+// (bad flags, unreadable scenario file, unopenable store) are pinned by
+// tests: every error path prints exactly one line to stderr — never a panic,
+// never a usage dump — and returns non-zero (2 for command-line errors, 1
+// for runtime failures).
+func run(args []string, stdout, stderr io.Writer) int {
+	opt, err := parseArgs(args, stderr)
 	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
-			os.Exit(0)
+			return 0
 		}
 		var rep reportedError
 		if !errors.As(err, &rep) {
-			fmt.Fprintln(os.Stderr, "cascenario:", err)
+			fmt.Fprintln(stderr, "cascenario:", err)
 		}
-		os.Exit(2)
+		return 2
 	}
 	if opt.list {
-		printPresets(os.Stdout)
-		return
+		printPresets(stdout)
+		return 0
 	}
 	var runner bench.Runner
 	var store *lab.Store
 	if opt.storePath != "" {
 		st, err := lab.Open(opt.storePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cascenario:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "cascenario:", err)
+			return 1
 		}
 		store = st
 		runner.Store = st
@@ -151,17 +158,18 @@ func main() {
 		sw.Scheme = scheme
 		res, err := runner.RunScenario(sw)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cascenario:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "cascenario:", err)
+			return 1
 		}
-		printResult(os.Stdout, sw, res, opt.lat)
+		printResult(stdout, sw, res, opt.lat)
 		if opt.tail {
-			printTail(os.Stdout, res)
+			printTail(stdout, res)
 		}
 	}
 	if store != nil {
-		fmt.Fprintln(os.Stderr, store.Stats())
+		fmt.Fprintln(stderr, store.Stats())
 	}
+	return 0
 }
 
 // printPresets renders the built-in scenario catalog.

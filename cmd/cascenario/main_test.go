@@ -229,3 +229,35 @@ func TestTailTableConsistency(t *testing.T) {
 		t.Fatal("rcu churn-drain recorded no reclamation pauses; the attribution column is untested")
 	}
 }
+
+// TestRunFailureModes pins the CLI error contract: every failure exits
+// non-zero after exactly one line on stderr — no panic, no usage dump.
+func TestRunFailureModes(t *testing.T) {
+	plain := filepath.Join(t.TempDir(), "plainfile")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"missing scenario file", []string{"-file", filepath.Join(t.TempDir(), "nope.json")}, 2},
+		{"unreadable scenario file", []string{"-file", t.TempDir()}, 2},
+		{"scenario file is not JSON", []string{"-file", plain}, 2},
+		{"unopenable store", []string{"-preset", "read-burst", "-store", filepath.Join(plain, "store")}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr %q)", tc.args, code, tc.code, stderr.String())
+			}
+			if got := stderr.String(); strings.Count(got, "\n") != 1 {
+				t.Errorf("stderr is not exactly one line:\n%s", got)
+			} else if strings.Contains(got, "Usage") || !strings.HasPrefix(got, "cascenario: ") {
+				t.Errorf("stderr is not a bare one-line diagnosis:\n%s", got)
+			}
+		})
+	}
+}

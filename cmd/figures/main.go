@@ -100,31 +100,39 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	}, nil
 }
 
-func main() {
-	opt, err := parseArgs(os.Args[1:], os.Stderr)
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its exit code and streams surfaced, so the failure modes
+// (bad flags, unopenable store, uncreatable output directory) are pinned by
+// tests: every error path prints exactly one line to stderr — never a
+// panic, never a usage dump — and returns non-zero (2 for command-line
+// errors, 1 for runtime failures). The figure jobs themselves stream their
+// panel summaries to the process stdout.
+func run(args []string, stdout, stderr io.Writer) int {
+	opt, err := parseArgs(args, stderr)
 	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
-			os.Exit(0)
+			return 0
 		}
 		var rep reportedError
 		if !errors.As(err, &rep) {
-			fmt.Fprintln(os.Stderr, "figures:", err)
+			fmt.Fprintln(stderr, "figures:", err)
 		}
-		os.Exit(2)
+		return 2
 	}
 	g := opt.g
 	var store *lab.Store
 	if opt.storePath != "" {
 		store, err = lab.Open(opt.storePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "figures:", err)
+			return 1
 		}
 		g.store = store
 	}
 	if err := os.MkdirAll(g.out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "figures:", err)
+		return 1
 	}
 
 	jobs := map[string]func() error{
@@ -144,16 +152,17 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		fmt.Printf("### %s\n", name)
+		fmt.Fprintf(stdout, "### %s\n", name)
 		if err := jobs[name](); err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "figures:", err)
+			return 1
 		}
-		fmt.Printf("### %s done in %v\n\n", name, time.Since(start).Round(time.Second))
+		fmt.Fprintf(stdout, "### %s done in %v\n\n", name, time.Since(start).Round(time.Second))
 	}
 	if store != nil {
-		fmt.Fprintln(os.Stderr, store.Stats())
+		fmt.Fprintln(stderr, store.Stats())
 	}
+	return 0
 }
 
 type generator struct {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"flag"
 	"io"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -105,5 +107,36 @@ func TestFigOrderCoversJobs(t *testing.T) {
 		if _, err := parseArgs([]string{"-fig", name}, io.Discard); err != nil {
 			t.Errorf("-fig %s rejected: %v", name, err)
 		}
+	}
+}
+
+// TestRunFailureModes pins the CLI error contract: every failure exits
+// non-zero after exactly one line on stderr — no panic, no usage dump.
+func TestRunFailureModes(t *testing.T) {
+	plain := filepath.Join(t.TempDir(), "plainfile")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unopenable store", []string{"-store", filepath.Join(plain, "store")}, 1},
+		{"uncreatable output dir", []string{"-out", filepath.Join(plain, "results")}, 1},
+		{"unknown figure", []string{"-fig", "nope"}, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr %q)", tc.args, code, tc.code, stderr.String())
+			}
+			if got := stderr.String(); strings.Count(got, "\n") != 1 {
+				t.Errorf("stderr is not exactly one line:\n%s", got)
+			} else if strings.Contains(got, "Usage") || !strings.HasPrefix(got, "figures: ") {
+				t.Errorf("stderr is not a bare one-line diagnosis:\n%s", got)
+			}
+		})
 	}
 }

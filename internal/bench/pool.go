@@ -1,11 +1,16 @@
 // Parallel sweep execution. A sweep is a cross product of fully independent,
 // fully deterministic simulated trials (each bench.Run builds its own
 // sim.Machine, heap, and caches, and the simulator's schedule depends only on
-// seeds), so trials can fan out across real OS threads freely. The scheduler
-// here expands a SweepConfig into a flat job list — one job per (point,
-// trial) — hands jobs to a GOMAXPROCS-bounded worker pool, and merges results
-// back in sweep order, so the returned points, the report callback sequence,
-// and any error are byte-identical to the sequential path.
+// seeds), so trials can fan out across real OS threads freely. A trial's
+// simulation runs entirely on the worker goroutine that claimed it — the
+// sim core is channel-free and spawns no goroutines of its own — so the
+// pool's goroutine count is exactly the worker count, independent of the
+// simulated thread count, and a worker's Runner (with its reused machines)
+// is only ever touched by that one goroutine. The scheduler here expands a
+// SweepConfig into a flat job list — one job per (point, trial) — hands jobs
+// to a GOMAXPROCS-bounded worker pool, and merges results back in sweep
+// order, so the returned points, the report callback sequence, and any error
+// are byte-identical to the sequential path.
 
 package bench
 

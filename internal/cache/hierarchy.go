@@ -78,12 +78,14 @@ type l1cache struct {
 	full    []uint16
 	setMask uint64
 	assoc   uint64
-	// mru is the slab index of the most recently found way — a pure lookup
-	// hint. Data-structure operations touch several words of one node line
-	// back to back, so checking it first skips most tag scans. It is always
-	// verified against the lines slab, so a stale hint costs one compare and
-	// can never change a lookup's result.
-	mru int
+	// wayOf is the residency index: wayOf[li] is 1 + the slab index of the
+	// way holding line li<<lineShift, or 0 when the line is not resident.
+	// Simulated line numbers are small and dense (the heap carves lines
+	// upward from zero), so a flat table turns the per-access tag probe —
+	// the hottest operation in the whole simulator — from an
+	// associativity-wide scan into one load. install/drop keep it exactly
+	// in sync with the lines slab; find's result is identical to a scan.
+	wayOf []int32
 }
 
 // l2cache is laid out exactly like l1cache, with the directory state
@@ -98,6 +100,7 @@ type l2cache struct {
 	full    []uint16 // valid ways per set, as in l1cache
 	setMask uint64
 	assoc   uint64
+	wayOf   []int32 // residency index, as in l1cache
 }
 
 // Hierarchy is the full simulated memory system: one private L1 per
@@ -167,7 +170,7 @@ func (c *l1cache) reset() {
 	clear(c.lru)
 	clear(c.state)
 	clear(c.full)
-	c.mru = 0
+	clear(c.wayOf)
 }
 
 func (c *l2cache) reset() {
@@ -179,6 +182,7 @@ func (c *l2cache) reset() {
 	clear(c.owner)
 	clear(c.dirty)
 	clear(c.full)
+	clear(c.wayOf)
 }
 
 // Reset empties every cache and zeroes the statistics and the replacement
@@ -260,26 +264,14 @@ func minLRU(lru []uint64) int {
 	return minI
 }
 
-// find returns the slab index of line's way, or -1 when not resident. The
-// scan has no early exit: a line occupies at most one way, so taking the
-// last match is equivalent, and the fixed-trip-count loop compiles to
-// branch-predictable code (conditional moves) instead of a data-dependent
-// break that mispredicts on every hit.
+// find returns the slab index of line's way, or -1 when not resident: one
+// load of the residency index, equivalent by construction to scanning the
+// set's tags.
 func (c *l1cache) find(line uint64) int {
-	if c.lines[c.mru] == line {
-		return c.mru
+	if li := line >> lineShift; li < uint64(len(c.wayOf)) {
+		return int(c.wayOf[li]) - 1
 	}
-	base := c.base(line)
-	w := -1
-	for i, l := range c.lines[base : base+c.assoc] {
-		if l == line {
-			w = int(base) + i
-		}
-	}
-	if w >= 0 {
-		c.mru = w
-	}
-	return w
+	return -1
 }
 
 func (c *l2cache) base(line uint64) uint64 {
@@ -287,14 +279,22 @@ func (c *l2cache) base(line uint64) uint64 {
 }
 
 func (c *l2cache) find(line uint64) int {
-	base := c.base(line)
-	w := -1
-	for i, l := range c.lines[base : base+c.assoc] {
-		if l == line {
-			w = int(base) + i
-		}
+	if li := line >> lineShift; li < uint64(len(c.wayOf)) {
+		return int(c.wayOf[li]) - 1
 	}
-	return w
+	return -1
+}
+
+// growWays extends a residency index to cover line index li. The simulated
+// heap only grows, so this amortizes to nothing after warm-up.
+func growWays(w []int32, li uint64) []int32 {
+	n := uint64(64)
+	for n <= li {
+		n *= 2
+	}
+	nw := make([]int32, n)
+	copy(nw, w)
+	return nw
 }
 
 // HasLine reports the L1 state of line for hardware thread tid without
@@ -472,6 +472,7 @@ func (h *Hierarchy) dropL1(l1i int, line uint64) {
 	if w := l1.find(line); w >= 0 {
 		l1.state[w] = Invalid
 		l1.lines[w] = invalidLine
+		l1.wayOf[line>>lineShift] = 0
 		l1.full[(line>>lineShift)&l1.setMask]--
 		h.notify(l1i, line)
 	}
@@ -519,14 +520,20 @@ func (h *Hierarchy) installL1(core int, line uint64, st State, w2new int) {
 		}
 		h.l2.sharers[w2] &^= 1 << uint(core)
 		l1.state[victim] = Invalid
+		l1.wayOf[vline>>lineShift] = 0
 		h.notify(core, vline)
 	}
 place:
+	if li := line >> lineShift; li < uint64(len(l1.wayOf)) {
+		l1.wayOf[li] = int32(victim) + 1
+	} else {
+		l1.wayOf = growWays(l1.wayOf, li)
+		l1.wayOf[li] = int32(victim) + 1
+	}
 	l1.lines[victim] = line
 	l1.state[victim] = st
 	l1.lru[victim] = h.tick
 	l1.l2way[victim] = int32(w2new)
-	l1.mru = victim
 }
 
 // installL2 places line into the L2, evicting (and back-invalidating) a
@@ -561,10 +568,17 @@ func (h *Hierarchy) installL2(line uint64) int {
 			h.dropL1(c, vline)
 			h.stats.BackInvals++
 		}
+		l2.wayOf[vline>>lineShift] = 0
 		// Dirty victims write back to memory; the cost is off the requester's
 		// critical path and is not charged.
 	}
 place:
+	if li := line >> lineShift; li < uint64(len(l2.wayOf)) {
+		l2.wayOf[li] = int32(victim) + 1
+	} else {
+		l2.wayOf = growWays(l2.wayOf, li)
+		l2.wayOf[li] = int32(victim) + 1
+	}
 	l2.lines[victim] = line
 	l2.lru[victim] = h.tick
 	l2.sharers[victim] = 0
@@ -652,6 +666,41 @@ func (h *Hierarchy) CheckInvariants() error {
 	}
 	if err := checkFull("L2", h.l2.lines, h.l2.full, int(h.l2.assoc)); err != nil {
 		return err
+	}
+	// The residency indexes must mirror the line slabs exactly — every other
+	// check above probes residency through find, so a drifted index would
+	// otherwise corrupt both the simulation and its own validation.
+	for c := range h.l1 {
+		if err := checkWayOf("L1", h.l1[c].lines, h.l1[c].wayOf); err != nil {
+			return fmt.Errorf("core %d: %w", c, err)
+		}
+	}
+	return checkWayOf("L2", h.l2.lines, h.l2.wayOf)
+}
+
+// checkWayOf verifies a cache's residency index against its line slab in
+// both directions: every valid way is indexed at its line, and every index
+// entry points at a way holding that line.
+func checkWayOf(level string, lines []uint64, wayOf []int32) error {
+	for w, line := range lines {
+		if line == invalidLine {
+			continue
+		}
+		got := -1
+		if li := line >> lineShift; li < uint64(len(wayOf)) {
+			got = int(wayOf[li]) - 1
+		}
+		if got != w {
+			return fmt.Errorf("%s line %#x in way %d but residency index says %d", level, line, w, got)
+		}
+	}
+	for li, w := range wayOf {
+		if w == 0 {
+			continue
+		}
+		if int(w) > len(lines) || lines[w-1] != uint64(li)<<lineShift {
+			return fmt.Errorf("%s residency index maps line %#x to way %d holding %#x", level, uint64(li)<<lineShift, w-1, lines[w-1])
+		}
 	}
 	return nil
 }

@@ -46,14 +46,72 @@ type Stats struct {
 	MaxTagSet   int    // high-water mark of any core's tag set
 }
 
-type tagEntry struct {
-	line uint64
-	gen  uint32
+// coreState is one hardware thread's tag set and accessRevokedBit. The tag
+// set is a line-indexed era-stamped table rather than a list: line li is
+// tagged iff stamp[li] == era. Every operation that touches it — the tag
+// membership probe on each cread/cwrite, untagOne, and the LineInvalidated
+// event the cache fires on every eviction — is O(1), and untagAll (once per
+// data-structure operation) retires the whole set by bumping era, no
+// clearing pass. The earlier representation, a slice scanned linearly, made
+// each cread O(tag set): a tree traversal tagging d lines paid O(d²)
+// membership probes per operation, which profiles showed as the simulator's
+// single hottest non-cache component.
+type coreState struct {
+	// stamp[li] == era iff the line with index li is tagged. A stamp value of
+	// 0 never matches (era starts at 1 and only grows), so fresh table growth
+	// needs no initialization.
+	stamp []uint64
+	// gen[li] is the allocation generation recorded when li was tagged,
+	// meaningful only while stamp[li] == era. The check-mode invariants
+	// (Theorems 6 and 7) compare it against the line's current generation.
+	gen     []uint32
+	era     uint64
+	count   int // live tag count: TagSetSize and the MaxTagSet high-water
+	revoked bool
 }
 
-type coreState struct {
-	tags    []tagEntry // small; linear scan beats a map at these sizes
-	revoked bool
+// tagged reports whether line index li is in the tag set.
+func (cs *coreState) tagged(li uint64) bool {
+	return li < uint64(len(cs.stamp)) && cs.stamp[li] == cs.era
+}
+
+// tag inserts line index li (not currently tagged) with generation g.
+func (cs *coreState) tag(li uint64, g uint32) {
+	if li >= uint64(len(cs.stamp)) {
+		cs.growTo(li)
+	}
+	cs.stamp[li] = cs.era
+	cs.gen[li] = g
+	cs.count++
+}
+
+// untag removes line index li, which the caller has verified is tagged.
+func (cs *coreState) untag(li uint64) {
+	cs.stamp[li] = 0
+	cs.count--
+}
+
+// untagAll empties the tag set: bumping era instantly invalidates every
+// stamp. The tables are line-indexed, so nothing needs clearing.
+func (cs *coreState) untagAll() {
+	cs.era++
+	cs.count = 0
+}
+
+// growTo extends the stamp/gen tables to cover line index li. Growth is
+// amortized: the simulated heap only ever grows, so after warm-up this is
+// never hit again.
+func (cs *coreState) growTo(li uint64) {
+	n := uint64(64)
+	for n <= li {
+		n *= 2
+	}
+	ns := make([]uint64, n)
+	copy(ns, cs.stamp)
+	ng := make([]uint32, n)
+	copy(ng, cs.gen)
+	cs.stamp = ns
+	cs.gen = ng
 }
 
 // Extension is the Conditional Access hardware extension for a simulated
@@ -74,7 +132,11 @@ type Extension struct {
 // implements cache.Listener and must be registered with the hierarchy at
 // construction; call Attach afterwards.
 func New(nCores int) *Extension {
-	return &Extension{cores: make([]coreState, nCores)}
+	e := &Extension{cores: make([]coreState, nCores)}
+	for i := range e.cores {
+		e.cores[i].era = 1
+	}
+	return e
 }
 
 // Attach connects the extension to the hierarchy and heap it observes.
@@ -85,11 +147,11 @@ func (e *Extension) Attach(h *cache.Hierarchy, space *mem.Space) {
 }
 
 // Reset clears every core's tag set and accessRevokedBit and zeroes the
-// statistics, returning the extension to its post-New state (tag-slice
-// capacity is kept).
+// statistics, returning the extension to its post-New state (the stamp-table
+// capacity is kept; retiring the old tags is an era bump, not a clear).
 func (e *Extension) Reset() {
 	for i := range e.cores {
-		e.cores[i].tags = e.cores[i].tags[:0]
+		e.cores[i].untagAll()
 		e.cores[i].revoked = false
 	}
 	e.stats = Stats{}
@@ -103,16 +165,14 @@ func (e *Extension) Stats() Stats { return e.stats }
 // (the tag bit physically lives on the departing line).
 func (e *Extension) LineInvalidated(core int, line uint64) {
 	cs := &e.cores[core]
-	for i := range cs.tags {
-		if cs.tags[i].line == line {
-			cs.tags[i] = cs.tags[len(cs.tags)-1]
-			cs.tags = cs.tags[:len(cs.tags)-1]
-			if !cs.revoked {
-				cs.revoked = true
-				e.stats.Revocations++
-			}
-			return
-		}
+	li := line / mem.LineBytes
+	if !cs.tagged(li) {
+		return
+	}
+	cs.untag(li)
+	if !cs.revoked {
+		cs.revoked = true
+		e.stats.Revocations++
 	}
 }
 
@@ -126,7 +186,7 @@ func (e *Extension) Revoked(core int) bool { return e.cores[core].revoked }
 // systems.
 func (e *Extension) RevokeThread(core int) {
 	cs := &e.cores[core]
-	cs.tags = cs.tags[:0]
+	cs.untagAll()
 	if !cs.revoked {
 		cs.revoked = true
 		e.stats.Revocations++
@@ -134,16 +194,7 @@ func (e *Extension) RevokeThread(core int) {
 }
 
 // TagSetSize returns the current number of tagged lines at core.
-func (e *Extension) TagSetSize(core int) int { return len(e.cores[core].tags) }
-
-func (cs *coreState) findTag(line uint64) *tagEntry {
-	for i := range cs.tags {
-		if cs.tags[i].line == line {
-			return &cs.tags[i]
-		}
-	}
-	return nil
-}
+func (e *Extension) TagSetSize(core int) int { return e.cores[core].count }
 
 // CRead executes a cread by core at addr. On success it returns the loaded
 // value, the access latency, and ok=true; on failure (accessRevokedBit set)
@@ -159,16 +210,16 @@ func (e *Extension) CRead(core int, addr mem.Addr) (val uint64, lat uint64, ok b
 	// revoked bit; per the paper's atomicity, this cread still succeeds (its
 	// flag check happened first) and the next conditional access fails.
 	lat = e.h.Read(core, addr) + e.latFlag
-	line := mem.LineOf(addr)
+	li := addr / mem.LineBytes
 	v, gen := e.space.ReadGen(addr)
-	if t := cs.findTag(line); t != nil {
-		if e.Check && t.gen != gen {
-			panic(fmt.Sprintf("core: cread at %#x succeeded across reallocation (gen %d -> %d): Theorem 7 violated", addr, t.gen, gen))
+	if cs.tagged(li) {
+		if e.Check && cs.gen[li] != gen {
+			panic(fmt.Sprintf("core: cread at %#x succeeded across reallocation (gen %d -> %d): Theorem 7 violated", addr, cs.gen[li], gen))
 		}
 	} else {
-		cs.tags = append(cs.tags, tagEntry{line: line, gen: gen})
-		if len(cs.tags) > e.stats.MaxTagSet {
-			e.stats.MaxTagSet = len(cs.tags)
+		cs.tag(li, gen)
+		if cs.count > e.stats.MaxTagSet {
+			e.stats.MaxTagSet = cs.count
 		}
 	}
 	if e.Check && !e.space.Live(addr) {
@@ -188,16 +239,15 @@ func (e *Extension) CWrite(core int, addr mem.Addr, v uint64) (lat uint64, ok bo
 		e.stats.CWriteFails++
 		return e.latFlag, false
 	}
-	t := cs.findTag(mem.LineOf(addr))
-	if t == nil {
+	li := addr / mem.LineBytes
+	if !cs.tagged(li) {
 		e.stats.CWriteFails++
 		e.stats.Untagged++
 		return e.latFlag, false
 	}
-	gen := e.space.Gen(addr)
 	if e.Check {
-		if t.gen != gen {
-			panic(fmt.Sprintf("core: cwrite at %#x succeeded across reallocation (gen %d -> %d): Theorem 7 violated", addr, t.gen, gen))
+		if gen := e.space.Gen(addr); cs.gen[li] != gen {
+			panic(fmt.Sprintf("core: cwrite at %#x succeeded across reallocation (gen %d -> %d): Theorem 7 violated", addr, cs.gen[li], gen))
 		}
 		if !e.space.Live(addr) {
 			panic(fmt.Sprintf("core: cwrite at %#x succeeded on a freed line: Theorem 6 violated", addr))
@@ -215,13 +265,8 @@ func (e *Extension) CWrite(core int, addr mem.Addr, v uint64) (lat uint64, ok bo
 // access and cannot fail; untagging an untagged line is a no-op.
 func (e *Extension) UntagOne(core int, addr mem.Addr) (lat uint64) {
 	cs := &e.cores[core]
-	line := mem.LineOf(addr)
-	for i := range cs.tags {
-		if cs.tags[i].line == line {
-			cs.tags[i] = cs.tags[len(cs.tags)-1]
-			cs.tags = cs.tags[:len(cs.tags)-1]
-			break
-		}
+	if li := addr / mem.LineBytes; cs.tagged(li) {
+		cs.untag(li)
 	}
 	return e.latFlag
 }
@@ -229,7 +274,7 @@ func (e *Extension) UntagOne(core int, addr mem.Addr) (lat uint64) {
 // UntagAll clears core's tag set and accessRevokedBit.
 func (e *Extension) UntagAll(core int) (lat uint64) {
 	cs := &e.cores[core]
-	cs.tags = cs.tags[:0]
+	cs.untagAll()
 	cs.revoked = false
 	return e.latFlag
 }

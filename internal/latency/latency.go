@@ -154,7 +154,11 @@ func (h *Hist) Quantile(p float64) uint64 {
 	if h.n == 0 {
 		return 0
 	}
-	if p < 0 {
+	// The clamp must also catch NaN, which slips past both ordered
+	// comparisons (p < 0 and p > 1 are false for NaN) and would make the
+	// float-to-uint conversion below undefined. !(p >= 0) is true exactly
+	// for negative p and NaN, pinning both to the 0-quantile.
+	if !(p >= 0) {
 		p = 0
 	}
 	if p > 1 {

@@ -2,6 +2,7 @@ package latency
 
 import (
 	"encoding/json"
+	"math"
 	"math/rand"
 	"reflect"
 	"slices"
@@ -133,6 +134,41 @@ func TestQuantileWithinOneBucket(t *testing.T) {
 		}
 		if h.Quantile(1) != sorted[len(sorted)-1] {
 			t.Fatalf("p=1 must be the exact maximum")
+		}
+	}
+}
+
+// TestQuantileEdgeCases pins Quantile's handling of out-of-domain p values
+// (regression: NaN slipped past both ordered clamps, making the
+// float-to-uint rank conversion undefined) and the empty-histogram case.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty Hist
+	for _, p := range []float64{math.NaN(), math.Inf(-1), -1, 0, 0.5, 1, 2, math.Inf(1)} {
+		if got := empty.Quantile(p); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %d, want 0", p, got)
+		}
+	}
+
+	h := fromSamples([]uint64{5, 10, 20, 40, 80})
+	p0, p1 := h.Quantile(0), h.Quantile(1)
+	if p1 != h.Max() {
+		t.Fatalf("Quantile(1) = %d, want exact max %d", p1, h.Max())
+	}
+	// NaN, -Inf, and any negative p clamp to the 0-quantile; +Inf and any
+	// p > 1 clamp to the 1-quantile. None may panic or fall outside the
+	// recorded range.
+	for _, tc := range []struct {
+		p    float64
+		want uint64
+	}{
+		{math.NaN(), p0},
+		{math.Inf(-1), p0},
+		{-0.5, p0},
+		{1.5, p1},
+		{math.Inf(1), p1},
+	} {
+		if got := h.Quantile(tc.p); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tc.p, got, tc.want)
 		}
 	}
 }

@@ -55,11 +55,15 @@ type Space struct {
 	// allocator would under churn).
 	freeList []uint32
 	nextLine uint32
+	// limit is nextLine*LineBytes, kept in sync by carve and Reset: the
+	// one-compare range check on the Read/Write/ReadGen fast paths, which
+	// must stay within the inlining budget.
+	limit Addr
 
-	// CheckUAF makes Read/Write panic when touching a freed line. The
-	// benchmark harness enables it in validation runs; callers that model
-	// deliberately unsafe probing use ReadAny.
-	CheckUAF bool
+	// checkUAF makes Read/Write panic when touching a freed line (see
+	// SetCheckUAF). The benchmark harness enables it in validation runs;
+	// callers that model deliberately unsafe probing use ReadAny.
+	checkUAF bool
 
 	stats Stats
 }
@@ -80,7 +84,7 @@ func (s Stats) NodeLive() uint64 { return s.NodeAllocs - s.NodeFrees }
 // NewSpace creates an empty simulated heap. Address 0 is reserved so that 0
 // can serve as the null pointer.
 func NewSpace() *Space {
-	s := &Space{nextLine: 1}
+	s := &Space{nextLine: 1, limit: LineBytes}
 	s.grow(64)
 	s.lines[0].state = lineReserved
 	return s
@@ -97,6 +101,7 @@ func (s *Space) Reset() {
 	s.lines[0].state = lineReserved
 	s.freeList = s.freeList[:0]
 	s.nextLine = 1
+	s.setLimit()
 	s.stats = Stats{}
 }
 
@@ -167,6 +172,7 @@ func (s *Space) AllocNode() Addr {
 func (s *Space) carve() uint32 {
 	li := s.nextLine
 	s.nextLine++
+	s.setLimit()
 	s.grow(s.nextLine)
 	s.lines[li].state = lineLive
 	s.lines[li].gen = 1
@@ -200,25 +206,70 @@ func (s *Space) FreeNode(a Addr) {
 	s.freeList = append(s.freeList, li)
 }
 
-// Read loads the word at a. With CheckUAF set, reading a freed line panics.
+// SetCheckUAF enables or disables use-after-free checking. With it on,
+// Read/Write/ReadGen panic when touching a freed line. The flag is folded
+// into limit (a checked space takes the out-of-line validation arm on every
+// access), which keeps the hot-path predicate to two tests.
+func (s *Space) SetCheckUAF(on bool) {
+	s.checkUAF = on
+	s.setLimit()
+}
+
+// CheckUAF reports whether use-after-free checking is enabled.
+func (s *Space) CheckUAF() bool { return s.checkUAF }
+
+// setLimit recomputes the fast-path bound after nextLine or checkUAF
+// changes: zero under checkUAF so every access is fully validated.
+func (s *Space) setLimit() {
+	if s.checkUAF {
+		s.limit = 0
+	} else {
+		s.limit = Addr(s.nextLine) * LineBytes
+	}
+}
+
+// Read loads the word at a. With use-after-free checking on, reading a freed
+// line panics.
+//
+// Read, Write, and ReadGen sit on every simulated memory access; their
+// validity checks are shaped so the functions stay within the inlining
+// budget, with everything but the in-bounds aligned fast path pushed out of
+// line into checkSlow.
 func (s *Space) Read(a Addr) uint64 {
-	s.checkAccess(a, "read")
+	if a >= s.limit || a%WordBytes != 0 {
+		s.checkSlowRead(a)
+	}
 	return s.words[a/WordBytes]
 }
 
-// Write stores v at a. With CheckUAF set, writing a freed line panics.
+// Write stores v at a. With use-after-free checking on, writing a freed line
+// panics.
 func (s *Space) Write(a Addr, v uint64) {
-	s.checkAccess(a, "write")
+	if a >= s.limit || a%WordBytes != 0 {
+		s.checkSlowWrite(a)
+	}
 	s.words[a/WordBytes] = v
 }
 
-func (s *Space) checkAccess(a Addr, op string) {
+//go:noinline
+func (s *Space) checkSlowRead(a Addr) { s.checkSlow(a, "read") }
+
+//go:noinline
+func (s *Space) checkSlowWrite(a Addr) { s.checkSlow(a, "write") }
+
+// checkSlow is the out-of-line arm of the access validity check: it either
+// panics with the exact diagnosis (unaligned / wild / use-after-free) or
+// returns normally for a valid access under use-after-free checking, whose
+// zeroed limit routes every access here.
+func (s *Space) checkSlow(a Addr, op string) {
 	if a%WordBytes != 0 {
 		panic(fmt.Sprintf("mem: unaligned %s at %#x", op, a))
 	}
-	li := s.lineIndex(a)
-	if s.CheckUAF && s.lines[li].state != lineLive {
-		panic(fmt.Sprintf("mem: use-after-free %s at %#x (gen %d)", op, a, s.lines[li].gen))
+	if a/LineBytes >= Addr(s.nextLine) {
+		panic(fmt.Sprintf("mem: wild address %#x (heap has %d lines)", a, s.nextLine))
+	}
+	if s.checkUAF && s.lines[a/LineBytes].state != lineLive {
+		panic(fmt.Sprintf("mem: use-after-free %s at %#x (gen %d)", op, a, s.lines[a/LineBytes].gen))
 	}
 }
 
@@ -227,14 +278,10 @@ func (s *Space) checkAccess(a Addr, op string) {
 // needs on every tagged load. It is exactly Read followed by Gen, fused so
 // the address is resolved once.
 func (s *Space) ReadGen(a Addr) (uint64, uint32) {
-	if a%WordBytes != 0 {
-		panic(fmt.Sprintf("mem: unaligned read at %#x", a))
+	if a >= s.limit || a%WordBytes != 0 {
+		s.checkSlowRead(a)
 	}
-	li := s.lineIndex(a)
-	if s.CheckUAF && s.lines[li].state != lineLive {
-		panic(fmt.Sprintf("mem: use-after-free read at %#x (gen %d)", a, s.lines[li].gen))
-	}
-	return s.words[a/WordBytes], s.lines[li].gen
+	return s.words[a/WordBytes], s.lines[a/LineBytes].gen
 }
 
 // ReadAny loads a word regardless of allocation state. It models what real

@@ -49,7 +49,7 @@ func TestPoisonOnFree(t *testing.T) {
 
 func TestUAFDetection(t *testing.T) {
 	s := NewSpace()
-	s.CheckUAF = true
+	s.SetCheckUAF(true)
 	a := s.AllocNode()
 	s.FreeNode(a)
 	mustPanic(t, "read-after-free", func() { s.Read(a) })

@@ -6,16 +6,22 @@ import "condaccess/internal/mem"
 // Conditional Access instructions, fences, allocation, and local work go
 // through it so that every action is charged simulated cycles and serialized
 // by the scheduler. A Ctx is only valid inside the body passed to
-// Machine.Spawn and must not escape to other goroutines.
+// Machine.Spawn, for the duration of that body's Run phase: the record lives
+// in the machine's thread slab and is reused by later phases.
 //
 // Ctx implements core.Accessor, so the Conditional Access try-lock helpers
 // (core.TryLock, core.Unlock) work directly on it.
 type Ctx struct {
-	th      *thread
-	m       *Machine
-	clock   *uint64 // &m.clocks[th.c]: charge is the hottest path in the simulator
-	limit   uint64
-	rng     *RNG
+	th    *thread
+	m     *Machine
+	clock *uint64 // &m.clocks[th.c]: charge is the hottest path in the simulator
+	limit uint64  // run-until quantum limit; the event loop rewrites it before every resume
+	// suspend transfers control back to the event loop at a quantum expiry
+	// (the iter.Pull yield function of this thread's coroutine). Nil on the
+	// single-thread fast path, where the limit is unbounded and yield is
+	// unreachable.
+	suspend func(struct{}) bool
+	rng     RNG    // embedded so per-phase context setup allocates nothing
 	zeroRun uint64 // consecutive zero-cycle charges (watchdog)
 
 	// Pause-attribution state (BeginPause/EndPause): cycles this thread has
@@ -33,16 +39,22 @@ type Ctx struct {
 	retryCount uint64
 }
 
-// newCtx builds the context a thread executes under, with its first
-// run-until limit.
-func newCtx(t *thread, limit uint64) *Ctx {
-	return &Ctx{
-		th:    t,
-		m:     t.m,
-		clock: &t.m.clocks[t.c],
-		limit: limit,
-		rng:   ThreadRNG(t.m.cfg.Seed, t.id),
-	}
+// reset rewinds this context for a fresh thread body — the per-phase
+// initialization newCtx used to allocate, now a field reset of the slab
+// record. The workload RNG is reseeded in place to the stream ThreadRNG
+// derives for the thread's machine-wide spawn index.
+func (c *Ctx) reset(t *thread, limit uint64) {
+	c.th = t
+	c.m = t.m
+	c.clock = &t.m.clocks[t.c]
+	c.limit = limit
+	c.suspend = nil
+	c.rng.seed(threadSeed(t.m.cfg.Seed, t.id))
+	c.zeroRun = 0
+	c.pauseDepth = 0
+	c.pauseMark = 0
+	c.pauseTotal = 0
+	c.retryCount = 0
 }
 
 // zeroChargeLimit bounds consecutive zero-latency operations. A simulated
@@ -81,20 +93,17 @@ func (c *Ctx) chargeSlow(lat uint64) {
 	}
 }
 
-// yield is the quantum-expiry slow path: this thread selects the next
-// runnable thread itself and resumes it directly (one channel handoff — the
-// historical central scheduler cost a yield plus a resume round-trip), then
-// sleeps until some peer hands the token back with a fresh limit.
+// yield is the quantum-expiry slow path: suspend this thread's coroutine,
+// transferring control back to the event loop (Machine.loop), which picks
+// the next runnable thread and transfers into it. By the time a later pick
+// resumes this thread, the loop has already written its fresh run-until
+// limit into c.limit. A false return means the loop is unwinding (a peer's
+// body panicked): raise the stop sentinel so this body's stack unwinds
+// through the coroutine wrapper.
 func (c *Ctx) yield() {
-	next, limit := c.m.pickNext()
-	if next == c.th {
-		// Cannot happen today (a thread past its limit is never the minimum),
-		// but keeping the check costs nothing and keeps yield self-contained.
-		c.limit = limit
-		return
+	if !c.suspend(struct{}{}) {
+		panic(stopToken{})
 	}
-	next.handoff(limit)
-	c.limit = c.th.await()
 }
 
 // ThreadID returns this thread's spawn index within its Run phase's core
@@ -102,7 +111,7 @@ func (c *Ctx) yield() {
 func (c *Ctx) ThreadID() int { return c.th.c }
 
 // Rand returns this thread's deterministic workload RNG.
-func (c *Ctx) Rand() *RNG { return c.rng }
+func (c *Ctx) Rand() *RNG { return &c.rng }
 
 // Clock returns this core's current cycle count.
 func (c *Ctx) Clock() uint64 { return *c.clock }

@@ -1,17 +1,19 @@
 // Package sim is the deterministic multicore simulator the reproduction runs
 // on — the stand-in for the paper's Graphite.
 //
-// Each simulated thread is a goroutine pinned to a simulated core with its
-// own cycle clock. Scheduling is conservative and peer-to-peer, in the
-// spirit of Graphite's "lax" synchronization: exactly one thread executes at
-// a time, and when its quantum expires it selects the runnable thread with
-// the smallest clock itself and hands execution to it directly — there is no
-// central scheduler goroutine. A thread may run until its clock passes the
-// next-smallest clock plus a slack window. Because exactly one thread
-// executes between handoffs, every simulated memory access is atomic, the
-// memory model is sequentially consistent, and — because scheduling depends
-// only on clocks and per-thread seeds — every run is bit-for-bit
-// reproducible.
+// Each simulated thread is a coroutine pinned to a simulated core with its
+// own cycle clock, and the whole machine executes on the single goroutine
+// that calls Machine.Run. Scheduling is conservative, in the spirit of
+// Graphite's "lax" synchronization: exactly one thread executes at a time,
+// and when its quantum expires it suspends back into the event loop, which
+// selects the runnable thread with the smallest clock and resumes it — a
+// pair of coroutine transfers, with no channels, no goroutine park/unpark,
+// and no runtime scheduler on the critical path. A thread may run until its
+// clock passes the next-smallest clock plus a slack window. Because exactly
+// one thread executes between transfers, every simulated memory access is
+// atomic, the memory model is sequentially consistent, and — because
+// scheduling depends only on clocks and per-thread seeds — every run is
+// bit-for-bit reproducible.
 //
 // Simulated time comes from the cache model: every access returns a latency
 // (package cache) charged to the issuing core. Conditional Access
@@ -20,6 +22,7 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 
 	"condaccess/internal/cache"
 	"condaccess/internal/core"
@@ -94,39 +97,68 @@ type Machine struct {
 	// historical tie-break (spawn order, perturbed by swap-removal of finished
 	// threads), liveC mirrors it with just the core ids so the per-quantum
 	// min-clock scan touches two flat arrays and no thread pointers, and pos
-	// indexes it by core so a finishing thread removes itself in O(1). done
-	// carries the last thread's completion to Run.
+	// indexes it by core so the loop removes a finishing thread in O(1).
 	live  []*thread
 	liveC []int32
 	pos   []int
-	done  chan struct{}
+
+	// slab is the per-thread scheduler-state arena: one thread record (with
+	// its embedded Ctx) per core, allocated once in New and recycled across
+	// every Run phase and Reset, so steady-state spawning allocates nothing.
+	// Thread i of a phase is always &slab[i] — cores are assigned in spawn
+	// order, so the record's identity is the core.
+	slab []thread
 }
 
+// thread is one simulated thread's scheduler record. Its lifetime is a
+// single Run phase, but the record itself lives in the machine's slab and is
+// reused; only the coroutine (resume/stop) is per-phase.
 type thread struct {
 	id   int
 	c    int // core
 	m    *Machine
 	body func(*Ctx)
 
-	// resume both wakes the thread and carries its next run-until limit.
-	// Exactly one thread executes at a time, so each send has exactly one
-	// blocked receiver: the previous holder hands the execution token
-	// directly to the next with a single channel operation — on one P this
-	// is the runtime's direct-handoff fast path (the receiver is placed in
-	// runnext), with no scheduler round-trip in between.
-	resume chan uint64
+	// resume continues this thread's coroutine until its next quantum expiry
+	// (second value true) or until the body returns (false); stop unwinds a
+	// suspended body. Both are nil on the single-thread fast path, which
+	// never materializes a coroutine. Only the event loop calls them.
+	resume func() (struct{}, bool)
+	stop   func()
+
+	// ctx is the thread's execution context, embedded so per-phase context
+	// setup is a field reset, not an allocation. The event loop writes
+	// ctx.limit before every resume; the body reads it inside charge.
+	ctx Ctx
 }
 
-// handoff passes the execution token to t with its next run-until limit.
-// Only the current token holder (or Run, starting the phase) may call it.
-func (t *thread) handoff(limit uint64) {
-	t.resume <- limit
+// stopToken is the sentinel Ctx.yield panics with when the event loop
+// abandons a suspended thread (a peer's body panicked): it unwinds the
+// body's stack and is recovered by the coroutine wrapper, so stop() returns
+// cleanly instead of leaking a suspended coroutine.
+type stopToken struct{}
+
+// start materializes the thread's coroutine. The body does not begin
+// executing until the event loop's first resume.
+func (t *thread) start() {
+	t.ctx.reset(t, 0)
+	t.resume, t.stop = iter.Pull(t.run)
 }
 
-// await blocks until this thread receives the execution token and returns
-// the accompanying run-until limit.
-func (t *thread) await() uint64 {
-	return <-t.resume
+// run is the coroutine body: the thread's imperative code runs inside it,
+// suspended at every quantum expiry by Ctx.yield and continued by the event
+// loop's resume. A stopToken unwind (loop abandoning the thread) is
+// recovered here; any other panic propagates through resume to Run's caller.
+func (t *thread) run(yield func(struct{}) bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stopToken); !ok {
+				panic(r)
+			}
+		}
+	}()
+	t.ctx.suspend = yield
+	t.body(&t.ctx)
 }
 
 // New builds a machine.
@@ -137,7 +169,7 @@ func New(cfg Config) *Machine {
 	}
 	m := &Machine{cfg: cfg}
 	m.Space = mem.NewSpace()
-	m.Space.CheckUAF = cfg.Check
+	m.Space.SetCheckUAF(cfg.Check)
 	m.Ext = core.New(cfg.Cores)
 	m.Ext.Check = cfg.Check
 	m.Hier = cache.New(cfg.Cache, m.Ext)
@@ -147,7 +179,8 @@ func New(cfg Config) *Machine {
 	m.live = make([]*thread, 0, cfg.Cores)
 	m.liveC = make([]int32, 0, cfg.Cores)
 	m.pos = make([]int, cfg.Cores)
-	m.done = make(chan struct{}, 1)
+	m.slab = make([]thread, cfg.Cores)
+	m.threads = make([]*thread, 0, cfg.Cores)
 	return m
 }
 
@@ -156,10 +189,11 @@ func (m *Machine) Config() Config { return m.cfg }
 
 // Reset rewinds the machine to its post-New state for cfg — clocks zeroed,
 // heap empty, caches cold, extension cleared, all statistics zero — reusing
-// every allocation. It reports false (leaving the machine untouched) when
-// cfg needs a different geometry, in which case the caller must build a new
-// machine. A reset machine is indistinguishable from a fresh one: trial
-// results are bit-for-bit identical either way.
+// every allocation (including the thread-record slab). It reports false
+// (leaving the machine untouched) when cfg needs a different geometry, in
+// which case the caller must build a new machine. A reset machine is
+// indistinguishable from a fresh one: trial results are bit-for-bit
+// identical either way.
 func (m *Machine) Reset(cfg Config) bool {
 	cfg = cfg.withDefaults()
 	if cfg.Cores != m.cfg.Cores || cfg.Cache != m.cfg.Cache {
@@ -170,7 +204,7 @@ func (m *Machine) Reset(cfg Config) bool {
 	}
 	m.cfg = cfg
 	m.Space.Reset()
-	m.Space.CheckUAF = cfg.Check
+	m.Space.SetCheckUAF(cfg.Check)
 	m.Hier.Reset()
 	m.Ext.Reset()
 	m.Ext.Check = cfg.Check
@@ -183,40 +217,41 @@ func (m *Machine) Reset(cfg Config) bool {
 
 // Spawn adds a thread for the next Run phase. Threads are assigned to cores
 // in spawn order; spawning more threads than cores panics (the paper runs
-// one thread per dedicated core).
+// one thread per dedicated core). The thread record comes from the
+// machine's slab, so steady-state spawning allocates nothing.
 func (m *Machine) Spawn(body func(*Ctx)) {
 	if len(m.threads) >= m.cfg.Cores {
 		panic("sim: more threads than cores")
 	}
-	t := &thread{
-		id:     m.spawned,
-		c:      len(m.threads),
-		m:      m,
-		body:   body,
-		resume: make(chan uint64),
-	}
+	t := &m.slab[len(m.threads)]
+	t.id = m.spawned
+	t.c = len(m.threads)
+	t.m = m
+	t.body = body
 	m.spawned++
 	m.threads = append(m.threads, t)
 }
 
 // Run executes all spawned threads to completion, then clears the thread
-// list so another phase can be spawned.
+// list so another phase can be spawned. The entire phase — every thread body
+// and every scheduling decision — runs on the calling goroutine.
 //
 // With one thread (e.g. the prefill phase) the body runs to completion
-// inline on the calling goroutine: a lone thread can never exhaust a
-// quantum, so no goroutine or channel is needed. With several, each thread
-// gets a goroutine and execution is a single token passed peer-to-peer: the
-// running thread yields by picking the next runnable thread (min clock) and
-// resuming it directly, and a finishing thread removes itself and hands off
-// the same way. Run only blocks until the last thread signals completion.
+// inline: a lone thread can never exhaust a quantum, so not even a coroutine
+// is needed. With several, each thread body becomes a resumable coroutine
+// (iter.Pull) and the event loop alternates pick-next with a direct
+// coroutine transfer into the chosen thread. A panic inside any thread body
+// propagates to Run's caller after the remaining suspended bodies have been
+// unwound.
 func (m *Machine) Run() {
 	if len(m.threads) == 0 {
 		return
 	}
 	if len(m.threads) == 1 {
 		t := m.threads[0]
-		t.body(newCtx(t, ^uint64(0)))
-		m.threads = m.threads[:0]
+		t.ctx.reset(t, ^uint64(0))
+		t.body(&t.ctx)
+		m.release()
 		return
 	}
 	m.live = append(m.live[:0], m.threads...)
@@ -225,13 +260,43 @@ func (m *Machine) Run() {
 		m.liveC = append(m.liveC, int32(t.c))
 		m.pos[t.c] = i
 	}
-	for _, t := range m.threads {
-		go t.main()
+	for _, t := range m.live {
+		t.start()
 	}
-	next, limit := m.pickNext()
-	next.handoff(limit)
-	<-m.done
-	m.threads = m.threads[:0]
+	defer m.unwind()
+	m.loop()
+	m.release()
+}
+
+// loop is the event loop: repeatedly select the runnable thread with the
+// smallest clock and transfer execution into it. A resume returns either
+// because the thread's quantum expired (it stays runnable, suspended at its
+// yield) or because its body finished (remove it, exactly as the historical
+// finish() did — swap-removal keeps the tie-break perturbation the goldens
+// pin). The pick sequence is identical to the retired handoff engine's:
+// pickNext is the same function over the same live-list state at every
+// decision point.
+func (m *Machine) loop() {
+	t, limit := m.pickNext()
+	for {
+		t.ctx.limit = limit
+		if _, running := t.resume(); running {
+			t, limit = m.pickNext()
+			continue
+		}
+		i := m.pos[t.c]
+		last := len(m.live) - 1
+		moved := m.live[last]
+		m.live[i] = moved
+		m.liveC[i] = m.liveC[last]
+		m.pos[moved.c] = i
+		m.live = m.live[:last]
+		m.liveC = m.liveC[:last]
+		if last == 0 {
+			return
+		}
+		t, limit = m.pickNext()
+	}
 }
 
 // pickNext selects the runnable thread with the smallest clock — ties broken
@@ -261,29 +326,33 @@ func (m *Machine) pickNext() (*thread, uint64) {
 	return m.live[mi], second + m.cfg.Slack
 }
 
-// finish removes t from the live set and hands the execution token to the
-// next runnable thread, or signals Run when t was the last. Runs on t's
-// goroutine, immediately before it exits.
-func (m *Machine) finish(t *thread) {
-	i := m.pos[t.c]
-	last := len(m.live) - 1
-	moved := m.live[last]
-	m.live[i] = moved
-	m.liveC[i] = m.liveC[last]
-	m.pos[moved.c] = i
-	m.live = m.live[:last]
-	m.liveC = m.liveC[:last]
-	if last == 0 {
-		m.done <- struct{}{}
-		return
+// release recycles the phase's thread records back into the slab: the
+// per-phase references (body closure, coroutine funcs) are dropped so they
+// can be collected, and the thread list is cleared for the next phase.
+func (m *Machine) release() {
+	for _, t := range m.threads {
+		t.body = nil
+		t.resume = nil
+		t.stop = nil
+		t.ctx.suspend = nil
 	}
-	next, limit := m.pickNext()
-	next.handoff(limit)
+	m.threads = m.threads[:0]
 }
 
-func (t *thread) main() {
-	t.body(newCtx(t, t.await()))
-	t.m.finish(t)
+// unwind runs deferred in Run. On a normal return the live set is empty and
+// this is a no-op. When a thread body panics, the panic propagates through
+// the event loop with the other threads still suspended mid-body; stopping
+// each one resumes it with a false yield, which Ctx.yield turns into a
+// stopToken unwind, so no coroutine outlives the Run that started it. (The
+// panicked thread's own stop is a completed iterator's no-op.)
+func (m *Machine) unwind() {
+	for _, t := range m.live {
+		if t.stop != nil {
+			t.stop()
+		}
+	}
+	m.live = m.live[:0]
+	m.liveC = m.liveC[:0]
 }
 
 // Clock returns core c's cycle counter.
