@@ -158,6 +158,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if store != nil {
+		// Close flushes the store's batched segment writes and persists its
+		// index sidecar; results are not durable before it returns.
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(stderr, "cabench:", err)
+			return 1
+		}
 		fmt.Fprintln(stderr, store.Stats())
 	}
 	for _, u := range cfg.Updates {

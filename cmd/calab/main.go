@@ -7,6 +7,8 @@
 //	calab gc -store DIR [-all]          # drop entries from other engine versions (or everything)
 //	calab export -store DIR [-csv F]    # long-form CSV of every trial entry
 //	calab verify -store DIR             # integrity: content addresses and payload fingerprints
+//	calab pack -store DIR               # convert loose objects/ entries into packed segments
+//	calab index -store DIR              # rebuild the segment sidecar index by scanning segments
 //
 // Entries are keyed by the engine tag (a digest of the golden files pinning
 // the engine's output), so results from different engine versions never mix:
@@ -43,7 +45,7 @@ type reportedError struct{ err error }
 func (e reportedError) Error() string { return e.err.Error() }
 func (e reportedError) Unwrap() error { return e.err }
 
-const usageText = "usage: calab <inspect|diff|gc|export|verify> [flags]\n"
+const usageText = "usage: calab <inspect|diff|gc|export|verify|pack|index> [flags]\n"
 
 // parseArgs parses the subcommand and its flag set. Split out of main for
 // testability.
@@ -59,7 +61,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	var store, a, b, csvPath *string
 	var all *bool
 	switch opt.cmd {
-	case "inspect", "verify":
+	case "inspect", "verify", "pack", "index":
 		store = storeFlag()
 	case "gc":
 		store = storeFlag()
@@ -132,21 +134,37 @@ func run(opt options, out io.Writer) error {
 		return export(opt.store, opt.csvPath, out)
 	case "diff":
 		return diff(opt.a, opt.b, out)
+	case "pack":
+		return pack(opt.store, out)
+	case "index":
+		return index(opt.store, out)
 	}
 	return fmt.Errorf("unknown subcommand %q", opt.cmd)
 }
 
-func inspect(dir string, out io.Writer) error {
+// closing runs after a command body and surfaces the store Close error —
+// which is where a packed store persists its sidecar index — unless the body
+// already failed with something more specific.
+func closing(st *lab.Store, err *error) {
+	if cerr := st.Close(); cerr != nil && *err == nil {
+		*err = cerr
+	}
+}
+
+func inspect(dir string, out io.Writer) (err error) {
 	st, err := lab.OpenExisting(dir)
 	if err != nil {
 		return err
 	}
-	entries, err := st.Entries()
+	defer closing(st, &err)
+	// Spec entries suffice: counting, tag partitioning, and cell statistics
+	// never need more of the result payload than the throughput.
+	entries, err := st.SpecEntries()
 	if err != nil {
 		return err
 	}
 	var trials, scenarios, foreign int
-	var current []lab.Entry
+	var current []lab.SpecEntry
 	for _, e := range entries {
 		if e.Tag != st.Tag() {
 			foreign++
@@ -171,11 +189,12 @@ func inspect(dir string, out io.Writer) error {
 	return nil
 }
 
-func verify(dir string, out io.Writer) error {
+func verify(dir string, out io.Writer) (err error) {
 	st, err := lab.OpenExisting(dir)
 	if err != nil {
 		return err
 	}
+	defer closing(st, &err)
 	sound, problems, err := st.Verify()
 	if err != nil {
 		return err
@@ -190,11 +209,12 @@ func verify(dir string, out io.Writer) error {
 	return nil
 }
 
-func gc(dir string, all bool, out io.Writer) error {
+func gc(dir string, all bool, out io.Writer) (err error) {
 	st, err := lab.OpenExisting(dir)
 	if err != nil {
 		return err
 	}
+	defer closing(st, &err)
 	removed, kept, err := st.GC(all)
 	if err != nil {
 		return err
@@ -203,11 +223,45 @@ func gc(dir string, all bool, out io.Writer) error {
 	return nil
 }
 
-func export(dir, csvPath string, out io.Writer) error {
+// pack converts every loose objects/ entry into packed segment records and
+// removes the loose files, leaving a store whose warm lookups are one
+// in-memory index probe plus one segment read.
+func pack(dir string, out io.Writer) (err error) {
 	st, err := lab.OpenExisting(dir)
 	if err != nil {
 		return err
 	}
+	defer closing(st, &err)
+	packed, loose, err := st.Pack()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "packed %d loose entries; store now holds %d packed entries\n", loose, packed)
+	return nil
+}
+
+// index rebuilds the sidecar index from the segment bytes themselves —
+// recovery for a missing or stale segments/index.json.
+func index(dir string, out io.Writer) (err error) {
+	st, err := lab.OpenExisting(dir)
+	if err != nil {
+		return err
+	}
+	defer closing(st, &err)
+	entries, segments, err := st.RebuildIndex()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "indexed %d entries across %d segments\n", entries, segments)
+	return nil
+}
+
+func export(dir, csvPath string, out io.Writer) (err error) {
+	st, err := lab.OpenExisting(dir)
+	if err != nil {
+		return err
+	}
+	defer closing(st, &err)
 	entries, err := st.Entries()
 	if err != nil {
 		return err
@@ -256,11 +310,12 @@ func itoa(n int) string    { return strconv.Itoa(n) }
 func utoa(n uint64) string { return strconv.FormatUint(n, 10) }
 
 func diff(dirA, dirB string, out io.Writer) error {
-	cellsOf := func(dir string) ([]lab.Cell, error) {
+	cellsOf := func(dir string) (cells []lab.Cell, err error) {
 		st, err := lab.OpenExisting(dir)
 		if err != nil {
 			return nil, err
 		}
+		defer closing(st, &err)
 		return lab.SnapshotCells(st)
 	}
 	a, err := cellsOf(dirA)

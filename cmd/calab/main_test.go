@@ -5,6 +5,8 @@ import (
 	"errors"
 	"flag"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -24,6 +26,8 @@ func TestParseArgsSubcommands(t *testing.T) {
 		{[]string{"gc", "-store", "d"}, options{cmd: "gc", store: "d"}},
 		{[]string{"export", "-store", "d", "-csv", "out.csv"}, options{cmd: "export", store: "d", csvPath: "out.csv"}},
 		{[]string{"diff", "-a", "x", "-b", "y"}, options{cmd: "diff", a: "x", b: "y"}},
+		{[]string{"pack", "-store", "d"}, options{cmd: "pack", store: "d"}},
+		{[]string{"index", "-store", "d"}, options{cmd: "index", store: "d"}},
 	}
 	for _, tc := range cases {
 		opt, err := parseArgs(tc.args, io.Discard)
@@ -45,6 +49,8 @@ func TestParseArgsErrors(t *testing.T) {
 		{"gc"},                     // missing -store
 		{"diff", "-a", "x"},        // missing -b
 		{"diff", "-b", "y"},        // missing -a
+		{"pack"},                   // missing -store
+		{"index"},                  // missing -store
 		{"inspect", "-nosuchflag"}, // flag error
 	}
 	for _, args := range cases {
@@ -75,6 +81,8 @@ func TestReadCommandsRejectMissingStore(t *testing.T) {
 		{cmd: "gc", store: missing},
 		{cmd: "export", store: missing},
 		{cmd: "diff", a: missing, b: missing},
+		{cmd: "pack", store: missing},
+		{cmd: "index", store: missing},
 	} {
 		if err := run(opt, io.Discard); err == nil {
 			t.Errorf("%s: missing store accepted", opt.cmd)
@@ -99,6 +107,9 @@ func TestExportQuotesCommas(t *testing.T) {
 	if _, err := r.RunScenario(bench.ScenarioWorkload{
 		DS: "list", Scheme: "ca", Threads: 2, KeyRange: 32, Seed: 1, Scenario: sc,
 	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
 	var out strings.Builder
@@ -129,6 +140,66 @@ func fillStore(t *testing.T, dir string) {
 		KeyRange: 32, Ops: 50, Seed: 9, Trials: 2, Store: st,
 	}, nil); err != nil {
 		t.Fatal(err)
+	}
+	// Close flushes the batched segment writes and persists the sidecar, the
+	// same way the CLI fillers (cabench -store etc.) do on exit.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackAndIndexEndToEnd: a loose store converts in place, the sidecar
+// rebuilds from segment bytes alone, and the packed store keeps serving the
+// same entries.
+func TestPackAndIndexEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	st, err := lab.OpenLoose(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.Sweep(bench.SweepConfig{
+		DS: "list", Schemes: []string{"ca"}, Threads: []int{2}, Updates: []int{100},
+		KeyRange: 32, Ops: 50, Seed: 9, Trials: 2, Store: st,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run(options{cmd: "pack", store: dir}, &out); err != nil {
+		t.Fatalf("pack: %v", err)
+	}
+	if !strings.Contains(out.String(), "packed 2 loose entries; store now holds 2 packed entries") {
+		t.Errorf("pack output: %s", out.String())
+	}
+
+	// The sidecar index must be reconstructible from segment bytes alone.
+	if err := os.Remove(filepath.Join(dir, "segments", "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(options{cmd: "index", store: dir}, &out); err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	if !strings.Contains(out.String(), "indexed 2 entries across") {
+		t.Errorf("index output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run(options{cmd: "verify", store: dir}, &out); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !strings.Contains(out.String(), "2 sound entries, 0 problems") {
+		t.Errorf("verify output after pack: %s", out.String())
+	}
+	out.Reset()
+	if err := run(options{cmd: "inspect", store: dir}, &out); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if !strings.Contains(out.String(), "2 trial + 0 scenario") {
+		t.Errorf("inspect output after pack: %s", out.String())
 	}
 }
 

@@ -112,6 +112,12 @@ func main() {
 		os.Exit(1)
 	}
 	if store != nil {
+		// Close flushes the store's batched segment writes and persists its
+		// index sidecar; results are not durable before it returns.
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "camem:", err)
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, store.Stats())
 	}
 	names := opt.schemes

@@ -160,6 +160,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "### %s done in %v\n\n", name, time.Since(start).Round(time.Second))
 	}
 	if store != nil {
+		// Close flushes the store's batched segment writes and persists its
+		// index sidecar; results are not durable before it returns.
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(stderr, "figures:", err)
+			return 1
+		}
 		fmt.Fprintln(stderr, store.Stats())
 	}
 	return 0

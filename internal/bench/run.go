@@ -42,8 +42,19 @@ func (r *Runner) Run(w Workload) (Result, error) {
 	if err := validate(&w); err != nil {
 		return Result{}, err
 	}
+	// The spec is canonicalized once here; a keyed store memoizes the
+	// derived content key on ps across the lookup and the write-through,
+	// so a miss never marshals or hashes the spec a second time.
+	ks, ps := r.keyedStore(func() ([]byte, error) { return TrialSpecBytes(w) })
 	if r.Store != nil {
-		if res, ok := r.Store.LookupTrial(w); ok && !staleTail(w.RecordLatency || w.RecordTail, res.Tail) {
+		var res Result
+		var ok bool
+		if ks != nil {
+			res, ok = ks.LookupTrialSpec(ps)
+		} else {
+			res, ok = r.Store.LookupTrial(w)
+		}
+		if ok && !staleTail(w.RecordLatency || w.RecordTail, res.Tail) {
 			return res, nil
 		}
 	}
@@ -54,11 +65,33 @@ func (r *Runner) Run(w Workload) (Result, error) {
 	res := sres.Result
 	res.W = w
 	if r.Store != nil {
-		if err := r.Store.StoreTrial(w, res); err != nil {
+		if ks != nil {
+			err = ks.StoreTrialSpec(ps, res)
+		} else {
+			err = r.Store.StoreTrial(w, res)
+		}
+		if err != nil {
 			return Result{}, fmt.Errorf("bench: storing trial result: %w", err)
 		}
 	}
 	return res, nil
+}
+
+// keyedStore resolves the Runner's store to its keyed fast path: when the
+// store implements KeyedTrialStore and the spec marshals cleanly, it
+// returns the keyed handle with the spec prepared once. Otherwise (plain
+// store, or a marshal failure that the classic methods will surface) both
+// returns are nil and callers take the unkeyed path.
+func (r *Runner) keyedStore(marshal func() ([]byte, error)) (KeyedTrialStore, *PreparedSpec) {
+	ks, ok := r.Store.(KeyedTrialStore)
+	if !ok {
+		return nil, nil
+	}
+	spec, err := marshal()
+	if err != nil {
+		return nil, nil
+	}
+	return ks, &PreparedSpec{Spec: spec}
 }
 
 // lowerWorkload expresses a stationary Workload as a scenario: one phase of

@@ -283,8 +283,18 @@ func compileProfile(p scenario.Profile) (workFn, error) {
 // keys on the Workload itself in Run and calls runScenario directly, so one
 // trial is never cached under two keys.)
 func (r *Runner) RunScenario(sw ScenarioWorkload) (ScenarioResult, error) {
+	// As in Run: canonicalize the spec once and let a keyed store carry
+	// the derived content key from the lookup into the write-through.
+	ks, ps := r.keyedStore(func() ([]byte, error) { return ScenarioSpecBytes(sw) })
 	if r.Store != nil {
-		if sres, ok := r.Store.LookupScenario(sw); ok && !staleTail(sw.RecordLatency || sw.RecordTail, sres.Tail) {
+		var sres ScenarioResult
+		var ok bool
+		if ks != nil {
+			sres, ok = ks.LookupScenarioSpec(ps)
+		} else {
+			sres, ok = r.Store.LookupScenario(sw)
+		}
+		if ok && !staleTail(sw.RecordLatency || sw.RecordTail, sres.Tail) {
 			return sres, nil
 		}
 	}
@@ -293,7 +303,12 @@ func (r *Runner) RunScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 		return ScenarioResult{}, err
 	}
 	if r.Store != nil {
-		if err := r.Store.StoreScenario(sw, sres); err != nil {
+		if ks != nil {
+			err = ks.StoreScenarioSpec(ps, sres)
+		} else {
+			err = r.Store.StoreScenario(sw, sres)
+		}
+		if err != nil {
 			return ScenarioResult{}, fmt.Errorf("bench: storing scenario result: %w", err)
 		}
 	}

@@ -42,6 +42,38 @@ type TrialStore interface {
 	StoreScenario(sw ScenarioWorkload, res ScenarioResult) error
 }
 
+// PreparedSpec carries one trial's canonical serialized spec, marshaled
+// once per trial by the Runner, plus a memo slot for the store-derived
+// content key. A keyed store fills Key on the first lookup and reuses it in
+// the write-through after a miss, so a cold trial costs one spec marshal
+// and one key derivation instead of two of each.
+type PreparedSpec struct {
+	Spec []byte
+	// Key is the store's memoized content address for Spec (opaque to the
+	// harness; the lab store caches SHA-256(tag, kind, spec) here). Empty
+	// until a keyed store operation fills it.
+	Key string
+}
+
+// KeyedTrialStore is the optional fast path of TrialStore. Stores that
+// implement it receive the canonical spec bytes the Runner already
+// marshaled — with the content key memoized across the lookup/store pair —
+// instead of re-deriving both per call. The Runner type-asserts for it on
+// every store access and falls back to the plain TrialStore methods, so
+// existing implementations keep working unchanged.
+type KeyedTrialStore interface {
+	TrialStore
+	// LookupTrialSpec returns the cached result of the stationary trial
+	// whose canonical spec is ps.Spec, memoizing the derived key on ps.
+	LookupTrialSpec(ps *PreparedSpec) (Result, bool)
+	// StoreTrialSpec records res under ps (reusing ps.Key when set).
+	StoreTrialSpec(ps *PreparedSpec, res Result) error
+	// LookupScenarioSpec and StoreScenarioSpec are the scenario-trial
+	// analogues over ScenarioSpecBytes.
+	LookupScenarioSpec(ps *PreparedSpec) (ScenarioResult, bool)
+	StoreScenarioSpec(ps *PreparedSpec, res ScenarioResult) error
+}
+
 // goldenPins embeds the golden checksum files that pin the engine's
 // observable output, so the engine tag below tracks them automatically.
 //

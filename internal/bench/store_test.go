@@ -127,6 +127,110 @@ func (m *memStore) StoreScenario(sw ScenarioWorkload, res ScenarioResult) error 
 	return nil
 }
 
+// keyedMemStore wraps memStore with the KeyedTrialStore fast path,
+// instrumented to observe how the Runner drives it: it memoizes a synthetic
+// key on the PreparedSpec at lookup and records the key it sees again at
+// store time.
+type keyedMemStore struct {
+	*memStore
+	keyedLookups, keyedStores int
+	classicCalls              int
+	storeSawKey               string
+}
+
+func (m *keyedMemStore) LookupTrial(w Workload) (Result, bool) {
+	m.classicCalls++
+	return m.memStore.LookupTrial(w)
+}
+
+func (m *keyedMemStore) StoreTrial(w Workload, res Result) error {
+	m.classicCalls++
+	return m.memStore.StoreTrial(w, res)
+}
+
+func (m *keyedMemStore) LookupTrialSpec(ps *PreparedSpec) (Result, bool) {
+	m.keyedLookups++
+	if ps.Key == "" {
+		ps.Key = "memo:" + string(ps.Spec[:16])
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	res, ok := m.trials[string(ps.Spec)]
+	return res, ok
+}
+
+func (m *keyedMemStore) StoreTrialSpec(ps *PreparedSpec, res Result) error {
+	m.keyedStores++
+	m.storeSawKey = ps.Key
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trials[string(ps.Spec)] = res
+	m.puts++
+	return nil
+}
+
+func (m *keyedMemStore) LookupScenarioSpec(ps *PreparedSpec) (ScenarioResult, bool) {
+	m.keyedLookups++
+	if ps.Key == "" {
+		ps.Key = "memo:" + string(ps.Spec[:16])
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	res, ok := m.scenarios[string(ps.Spec)]
+	return res, ok
+}
+
+func (m *keyedMemStore) StoreScenarioSpec(ps *PreparedSpec, res ScenarioResult) error {
+	m.keyedStores++
+	m.storeSawKey = ps.Key
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.scenarios[string(ps.Spec)] = res
+	m.puts++
+	return nil
+}
+
+// TestKeyedFastPathMemoizesAcrossLookupAndStore: a store implementing
+// KeyedTrialStore must get the keyed calls — never the classic ones — and
+// the key it memoized on the PreparedSpec at lookup must arrive intact at
+// the write-through, on both the stationary and scenario paths.
+func TestKeyedFastPathMemoizesAcrossLookupAndStore(t *testing.T) {
+	st := &keyedMemStore{memStore: newMemStore()}
+	r := Runner{Store: st}
+	if _, err := r.Run(goldenWorkload("list", "ca")); err != nil {
+		t.Fatal(err)
+	}
+	if st.classicCalls != 0 {
+		t.Fatalf("keyed store received %d classic TrialStore calls", st.classicCalls)
+	}
+	if st.keyedLookups != 1 || st.keyedStores != 1 {
+		t.Fatalf("keyed traffic %d lookups / %d stores, want 1/1", st.keyedLookups, st.keyedStores)
+	}
+	if st.storeSawKey == "" || !bytes.HasPrefix([]byte(st.storeSawKey), []byte("memo:")) {
+		t.Fatalf("write-through saw key %q; the lookup's memo was lost", st.storeSawKey)
+	}
+
+	// Warm re-run: pure keyed lookup, no store, no re-memoization surprises.
+	if _, err := r.Run(goldenWorkload("list", "ca")); err != nil {
+		t.Fatal(err)
+	}
+	if st.keyedLookups != 2 || st.keyedStores != 1 {
+		t.Fatalf("warm keyed traffic %d lookups / %d stores, want 2/1", st.keyedLookups, st.keyedStores)
+	}
+
+	// Scenario path mirrors the stationary one.
+	st.storeSawKey = ""
+	if _, err := r.RunScenario(lowerWorkload(goldenWorkload("queue", "ca"))); err != nil {
+		t.Fatal(err)
+	}
+	if st.classicCalls != 0 {
+		t.Fatalf("scenario path fell back to classic calls (%d)", st.classicCalls)
+	}
+	if st.storeSawKey == "" {
+		t.Fatal("scenario write-through lost the lookup's key memo")
+	}
+}
+
 // TestRunDoesNotDoubleCache: the stationary path keys on the Workload alone;
 // it must not also record the lowered scenario under a second key.
 func TestRunDoesNotDoubleCache(t *testing.T) {

@@ -150,7 +150,7 @@ func normDist(d string) string {
 }
 
 // cellKeyOf derives the cell coordinates of one entry.
-func cellKeyOf(e Entry) CellKey {
+func cellKeyOf(e SpecEntry) CellKey {
 	if e.Kind == KindScenario {
 		sw := e.Scenario
 		return CellKey{
@@ -168,22 +168,18 @@ func cellKeyOf(e Entry) CellKey {
 }
 
 // Cells groups entries into experiment cells and summarizes each, returning
-// them in deterministic report order.
-func Cells(entries []Entry) []Cell {
+// them in deterministic report order. It works on SpecEntry so cell grouping
+// only ever decodes the spec half of each envelope; the result payload
+// contributes exactly the throughput, extracted by a partial decode.
+func Cells(entries []SpecEntry) []Cell {
 	type replica struct {
 		seed uint64
 		tp   float64
 	}
 	groups := map[CellKey][]replica{}
 	for _, e := range entries {
-		k := cellKeyOf(e)
-		var r replica
-		if e.Kind == KindScenario {
-			r = replica{seed: e.Scenario.Seed, tp: e.ScenarioResult.Throughput}
-		} else {
-			r = replica{seed: e.Workload.Seed, tp: e.Result.Throughput}
-		}
-		groups[k] = append(groups[k], r)
+		groups[cellKeyOf(e)] = append(groups[cellKeyOf(e)],
+			replica{seed: e.Seed(), tp: e.Throughput()})
 	}
 	cells := make([]Cell, 0, len(groups))
 	for k, rs := range groups {
@@ -211,7 +207,7 @@ func Cells(entries []Entry) []Cell {
 // versions inside one snapshot's statistics, so a mixed store is refused —
 // cross-version comparison means one single-tag store per side.
 func SnapshotCells(st *Store) ([]Cell, error) {
-	entries, err := st.Entries()
+	entries, err := st.SpecEntries()
 	if err != nil {
 		return nil, err
 	}

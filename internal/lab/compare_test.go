@@ -35,8 +35,11 @@ func runMatrix(t *testing.T, dir string, ops int) []Cell {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := st.Entries()
+	entries, err := st.SpecEntries()
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
 	return Cells(entries)
@@ -109,7 +112,7 @@ func TestCellsSeparateVariantsAndNormalizeDist(t *testing.T) {
 		}
 	}
 
-	entries, err := st.Entries()
+	entries, err := st.SpecEntries()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,8 +162,14 @@ func TestSnapshotCellsRefusesMixedTags(t *testing.T) {
 	if _, err := SnapshotCells(st); err != nil {
 		t.Fatalf("single-tag store refused: %v", err)
 	}
-	old := &Store{dir: dir, tag: "0000deadbeef0000"}
+	old, err := openTagged(dir, "0000deadbeef0000", false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := old.StoreTrial(w, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := SnapshotCells(st); err == nil || !strings.Contains(err.Error(), "mixes 2 engine versions") {

@@ -1,0 +1,488 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"condaccess/internal/bench"
+)
+
+// trialW builds a cheap stationary workload distinguished only by seed.
+func trialW(seed uint64) bench.Workload {
+	return bench.Workload{
+		DS: "list", Scheme: "ca", Threads: 1, KeyRange: 16,
+		UpdatePct: 50, OpsPerThread: 30, Seed: seed,
+	}
+}
+
+// TestStoreStatsString: the traffic line must say "no traffic" when the
+// handle served no lookups — "0% warm" would read as a fully cold run to the
+// CI greps — and keep the exact hit/miss format otherwise.
+func TestStoreStatsString(t *testing.T) {
+	cases := []struct {
+		s    StoreStats
+		want string
+	}{
+		{StoreStats{}, "store: no traffic"},
+		{StoreStats{Puts: 3, Opens: 7}, "store: no traffic"}, // puts/opens alone are not lookups
+		{StoreStats{Hits: 8}, "store: 8 hits, 0 misses (100% warm)"},
+		{StoreStats{Misses: 8}, "store: 0 hits, 8 misses (0% warm)"},
+		{StoreStats{Hits: 3, Misses: 1}, "store: 3 hits, 1 misses (75% warm)"},
+	}
+	for _, tc := range cases {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("%+v.String() = %q, want %q", tc.s, got, tc.want)
+		}
+	}
+}
+
+// TestTruncatedTailRecovers simulates a crash mid-flush: every segment loses
+// its final byte. The truncated tail record must be ignored (not served, not
+// fatal), its lookups must miss, re-running must heal the store in place,
+// and Pack must drop the crash residue for good.
+func TestTruncatedTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 6
+	r := bench.Runner{Store: st}
+	var want []bench.Result
+	for seed := uint64(1); seed <= trials; seed++ {
+		res, err := r.Run(trialW(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop one byte off every segment: each loses exactly its tail record.
+	segs, err := st.listSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segments written")
+	}
+	for _, seg := range segs {
+		path := st.segmentPath(seg)
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, info.Size()-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st2.SpecEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != trials-len(segs) {
+		t.Fatalf("entries after truncation = %d, want %d (one lost per segment)", len(entries), trials-len(segs))
+	}
+	if _, problems, err := st2.Verify(); err != nil || len(problems) != len(segs) {
+		t.Fatalf("verify: %d problems (err %v), want one truncated-tail report per segment", len(problems), err)
+	}
+
+	// Healing: re-running misses exactly the lost trials and re-appends them.
+	r2 := bench.Runner{Store: st2}
+	for seed := uint64(1); seed <= trials; seed++ {
+		res, err := r2.Run(trialW(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, want[seed-1]) {
+			t.Fatalf("seed %d: healed result diverges from original", seed)
+		}
+	}
+	stats := st2.Stats()
+	if stats.Misses != uint64(len(segs)) || stats.Hits != trials-uint64(len(segs)) {
+		t.Fatalf("heal traffic %+v, want %d misses / %d hits", stats, len(segs), trials-len(segs))
+	}
+	for seed := uint64(1); seed <= trials; seed++ {
+		if _, ok := st2.LookupTrial(trialW(seed)); !ok {
+			t.Fatalf("seed %d still missing after heal", seed)
+		}
+	}
+
+	// Pack drops the garbage tails; the store verifies clean.
+	if packed, _, err := st2.Pack(); err != nil || packed != trials {
+		t.Fatalf("pack: %d entries (err %v), want %d", packed, err, trials)
+	}
+	sound, problems, err := st2.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sound != trials || len(problems) != 0 {
+		t.Fatalf("after pack: %d sound, %d problems, want %d/0", sound, len(problems), trials)
+	}
+}
+
+// TestCorruptTailChecksumIgnored: a bit flipped in a segment's final record
+// must fail the CRC — the scan stops there, the record's lookups miss, and
+// re-running heals. The sidecar is removed first so the reopen takes the
+// full-scan path the checksum protects.
+func TestCorruptTailChecksumIgnored(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 3
+	r := bench.Runner{Store: st}
+	for seed := uint64(1); seed <= trials; seed++ {
+		if _, err := r.Run(trialW(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := st.listSegments()
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v (err %v)", segs, err)
+	}
+	path := st.segmentPath(segs[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // inside the last record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "segments", "index.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st2.SpecEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != trials-1 {
+		t.Fatalf("entries after corruption = %d, want %d", len(entries), trials-1)
+	}
+	_, problems, err := st2.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0].Reason, "tail") {
+		t.Fatalf("verify problems = %+v, want one corrupt-tail report", problems)
+	}
+
+	r2 := bench.Runner{Store: st2}
+	for seed := uint64(1); seed <= trials; seed++ {
+		if _, err := r2.Run(trialW(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st2.Stats(); got.Misses != 1 || got.Hits != trials-1 {
+		t.Fatalf("heal traffic %+v, want 1 miss / %d hits", got, trials-1)
+	}
+}
+
+// TestConcurrentKeyedAppendsAndReads drives the striped write-back and the
+// keyed lookup path from many goroutines at once — the parallel-sweep shape,
+// checked under -race: writers must see their own unflushed puts, and a
+// concurrent reader probing the same keyspace must never tear.
+func TestConcurrentKeyedAppendsAndReads(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 50
+	spec := func(g, i int) []byte {
+		b, err := json.Marshal(map[string]int{"worker": g, "trial": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // concurrent keyed reader over the whole keyspace
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for g := 0; g < workers; g++ {
+				for i := 0; i < per; i++ {
+					ps := &bench.PreparedSpec{Spec: spec(g, i)}
+					if res, ok := st.LookupTrialSpec(ps); ok && res.Throughput != float64(g*per+i) {
+						t.Errorf("worker %d trial %d: read tore: %+v", g, i, res)
+						return
+					}
+				}
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < per; i++ {
+				ps := &bench.PreparedSpec{Spec: spec(g, i)}
+				want := bench.Result{Throughput: float64(g*per + i)}
+				if err := st.StoreTrialSpec(ps, want); err != nil {
+					t.Error(err)
+					return
+				}
+				// The writing handle must see its own put immediately, even
+				// while it is still buffered.
+				if got, ok := st.LookupTrialSpec(ps); !ok || got.Throughput != want.Throughput {
+					t.Errorf("worker %d trial %d: own put invisible (ok=%v)", g, i, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(done)
+	readers.Wait()
+
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats(); got.Puts != workers*per {
+		t.Fatalf("puts = %d, want %d", got.Puts, workers*per)
+	}
+}
+
+// TestWarmPackedSweepOpensNoFiles is the perf acceptance shape: a 540-trial
+// sweep re-run against a packed store must serve every trial from the index
+// without opening a single file past the handful Open itself touched — and
+// reproduce the cold run's table byte for byte.
+func TestWarmPackedSweepOpensNoFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bench.SweepConfig{
+		DS: "list", Schemes: []string{"ca", "rcu"}, Threads: []int{1, 2},
+		Updates: []int{0, 50, 100}, KeyRange: 16, Ops: 20, Seed: 3, Trials: 45,
+		Store: st,
+	}
+	const jobs = 2 * 2 * 3 * 45 // 540
+	cold, err := bench.Sweep(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = st2
+	base := st2.Stats().Opens // sidecar + segments, paid once at Open
+	warm, err := bench.Sweep(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := st2.Stats()
+	if stats.Hits != jobs || stats.Misses != 0 {
+		t.Fatalf("warm traffic %+v, want %d pure hits", stats, jobs)
+	}
+	if stats.Opens != base {
+		t.Fatalf("warm sweep opened %d files beyond the %d at Open; packed lookups must be pure ReadAt", stats.Opens-base, base)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("warm packed sweep diverges from cold")
+	}
+	for _, u := range cfg.Updates {
+		if a, b := bench.FormatTable(cold, u), bench.FormatTable(warm, u); a != b {
+			t.Fatalf("u=%d: warm table not byte-identical", u)
+		}
+	}
+	if n := len(segmentsOn(t, dir)); n > writeStripes {
+		t.Fatalf("cold 540-trial run left %d segments, want at most %d stripes", n, writeStripes)
+	}
+}
+
+// segmentsOn lists segment files under dir.
+func segmentsOn(t *testing.T, dir string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "segments", "*.pack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRebuildIndexMatchesScan: RebuildIndex from segment bytes alone must
+// reconstruct exactly the entries a fresh full scan sees.
+func TestRebuildIndexMatchesScan(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 10
+	r := bench.Runner{Store: st}
+	for seed := uint64(1); seed <= trials; seed++ {
+		if _, err := r.Run(trialW(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Poison the sidecar; RebuildIndex must not need it.
+	side := filepath.Join(dir, "segments", "index.json")
+	if err := os.WriteFile(side, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, segments, err := st2.RebuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != trials || segments == 0 {
+		t.Fatalf("rebuild: %d entries / %d segments, want %d entries", entries, segments, trials)
+	}
+	for seed := uint64(1); seed <= trials; seed++ {
+		if _, ok := st2.LookupTrial(trialW(seed)); !ok {
+			t.Fatalf("seed %d unreachable after rebuild", seed)
+		}
+	}
+	// The rewritten sidecar must make the next Open cheap and complete.
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := st3.SpecEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != trials {
+		t.Fatalf("after rebuild+reopen: %d entries, want %d", len(es), trials)
+	}
+}
+
+// TestMixedLayoutLookupAndGC: a store holding both loose and packed entries
+// must serve lookups from both, prefer the packed copy, and gc both layouts.
+func TestMixedLayoutLookupAndGC(t *testing.T) {
+	dir := t.TempDir()
+	loose, err := OpenLoose(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bench.Runner{Store: loose}
+	if _, err := r.Run(trialW(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	packed, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := bench.Runner{Store: packed}
+	if _, ok := packed.LookupTrial(trialW(1)); !ok {
+		t.Fatal("packed handle cannot read the loose entry")
+	}
+	if _, err := rp.Run(trialW(2)); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign-tag packed entry, to be collected.
+	old, err := openTagged(dir, "0000deadbeef0000", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := old.StoreTrial(trialW(3), bench.Result{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, kept, err := packed.GC(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || kept != 2 {
+		t.Fatalf("gc removed %d kept %d, want 1/2 (foreign packed gone, loose+current kept)", removed, kept)
+	}
+	if _, ok := packed.LookupTrial(trialW(1)); !ok {
+		t.Fatal("loose survivor lost after gc")
+	}
+	if _, ok := packed.LookupTrial(trialW(2)); !ok {
+		t.Fatal("packed survivor lost after gc")
+	}
+	if err := packed.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazySpecEntriesDoNotDecodeResults: SpecEntry must carry the raw result
+// until asked — Throughput() partial-decodes one field, Decode() the rest.
+func TestLazySpecEntriesDoNotDecodeResults(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bench.Runner{Store: st}
+	res, err := r.Run(trialW(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := st.SpecEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Workload == nil || e.Seed() != 1 {
+		t.Fatalf("spec not decoded: %+v", e)
+	}
+	if got := e.Throughput(); got != res.Throughput {
+		t.Fatalf("lazy throughput %v, want %v", got, res.Throughput)
+	}
+	full, err := e.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*full.Result, res) {
+		t.Fatal("Decode() diverges from the stored result")
+	}
+	// A scenario-shaped raw result must partial-decode the same way.
+	if fmt.Sprintf("%.2f", e.Throughput()) != fmt.Sprintf("%.2f", res.Throughput) {
+		t.Fatal("throughput unstable across repeated lazy decodes")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"condaccess/internal/bench"
@@ -23,33 +24,91 @@ const (
 	KindScenario = "scenario"
 )
 
-// Store is an on-disk, content-addressed trial store. Each entry is one
-// self-describing JSON file under <dir>/objects/<kk>/<key>.json, where key =
-// SHA-256(engine tag, kind, canonical spec): the name is the content address
-// of the spec, so integrity is checkable offline and two stores can be
-// diffed by coordinates without sharing any state. Writes go to a temp file
-// and rename into place, so concurrent sweep workers and interrupted runs
-// never leave a partial entry under a valid name.
+// Store is an on-disk, content-addressed trial store. Every entry is keyed
+// by key = SHA-256(engine tag, kind, canonical spec): the name is the
+// content address of the spec, so integrity is checkable offline and two
+// stores can be diffed by coordinates without sharing any state.
+//
+// Two coexisting layouts back the same keyspace:
+//
+//   - Packed (the write path): append-only segment files under segments/
+//     holding length-prefixed, checksummed records, plus an in-memory
+//     index loaded once per Open from a sidecar (segment.go). A warm
+//     lookup is a map probe and one ReadAt; puts buffer per stripe and
+//     flush in batches with one fsync per flush.
+//   - Loose (the historical layout): one self-describing JSON file per
+//     entry under objects/<kk>/<key>.json, written by pre-pack binaries
+//     (and by OpenLoose handles). Lookups consult the index first and fall
+//     back to the loose probe, so old stores keep serving without
+//     conversion; `calab pack` converts them in place.
 type Store struct {
-	dir string
-	tag string
+	dir   string
+	tag   string
+	loose bool // write loose objects instead of packed segments (OpenLoose)
+
+	mu      sync.RWMutex
+	index   map[string]recLoc // content key -> flushed packed record
+	pending map[string][]byte // content key -> buffered envelope payload, not yet flushed
+	readers map[int]*os.File  // open segment read handles
+	covered map[int]int64     // indexed clean-prefix length per segment
+	writers []*segmentWriter
+	nextSeg int
+	dirty   bool // in-memory index has entries the sidecar lacks
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	puts   atomic.Uint64
+	opens  atomic.Uint64 // file opens; warm packed sweeps keep this O(segments)
 }
 
-// Store implements the harness's read-through/write-through contract.
-var _ bench.TrialStore = (*Store)(nil)
+// Store implements the harness's read-through/write-through contract,
+// including the keyed fast path.
+var (
+	_ bench.TrialStore      = (*Store)(nil)
+	_ bench.KeyedTrialStore = (*Store)(nil)
+)
+
+// writeStripes is the number of append buffers puts are striped across:
+// enough that pool workers rarely contend on one buffer's lock, few enough
+// that a cold run leaves a handful of segments, not one per trial.
+const writeStripes = 4
 
 // Open opens (creating if necessary) the store rooted at dir. Entries are
 // keyed under the current bench.EngineTag(); entries written by other engine
-// versions remain on disk — invisible to lookups — until GC.
+// versions remain on disk — invisible to lookups — until GC. The packed
+// index is loaded here, once: the sidecar if it is current, plus a scan of
+// whatever segment bytes it does not cover.
 func Open(dir string) (*Store, error) {
+	return openTagged(dir, bench.EngineTag(), false)
+}
+
+// OpenLoose opens the store with the historical loose-object write path:
+// every put is its own temp-file + rename under objects/. Packed segments
+// are still read. It exists for benchmarking the two layouts against each
+// other and for producing stores shaped like pre-pack binaries left them.
+func OpenLoose(dir string) (*Store, error) {
+	return openTagged(dir, bench.EngineTag(), true)
+}
+
+func openTagged(dir, tag string, loose bool) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("lab: opening store: %w", err)
 	}
-	return &Store{dir: dir, tag: bench.EngineTag()}, nil
+	s := &Store{
+		dir: dir, tag: tag, loose: loose,
+		index:   map[string]recLoc{},
+		pending: map[string][]byte{},
+		readers: map[int]*os.File{},
+		covered: map[int]int64{},
+	}
+	for i := 0; i < writeStripes; i++ {
+		s.writers = append(s.writers, &segmentWriter{st: s})
+	}
+	s.loadSidecar()
+	if err := s.refresh(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // OpenExisting opens a store that must already exist. Read-only consumers
@@ -57,7 +116,9 @@ func Open(dir string) (*Store, error) {
 // materializing an empty store and reporting zero entries.
 func OpenExisting(dir string) (*Store, error) {
 	if _, err := os.Stat(filepath.Join(dir, "objects")); err != nil {
-		return nil, fmt.Errorf("lab: %s is not a result store (no objects/ directory): %w", dir, err)
+		if _, serr := os.Stat(filepath.Join(dir, "segments")); serr != nil {
+			return nil, fmt.Errorf("lab: %s is not a result store (no objects/ or segments/ directory): %w", dir, err)
+		}
 	}
 	return Open(dir)
 }
@@ -70,32 +131,37 @@ func (s *Store) Tag() string { return s.tag }
 
 // StoreStats counts this handle's store traffic. After a fully warm sweep,
 // Misses and Puts are zero: every trial came from the store and none was
-// simulated.
+// simulated. Opens counts file opens — a warm packed sweep holds it at
+// O(segments) however many trials it serves.
 type StoreStats struct {
 	Hits   uint64
 	Misses uint64
 	Puts   uint64
+	Opens  uint64
 }
 
 // Stats returns the traffic counters accumulated on this handle.
 func (s *Store) Stats() StoreStats {
-	return StoreStats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
+	return StoreStats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load(), Opens: s.opens.Load()}
 }
 
 // String renders the traffic line every -store command reports on stderr;
-// "(100% warm)" is the re-run-executed-zero-trials signal CI greps for.
+// "(100% warm)" is the re-run-executed-zero-trials signal CI greps for. A
+// handle that served no lookups at all says so explicitly — "0% warm"
+// would read as a fully cold run to the same greps.
 func (s StoreStats) String() string {
 	total := s.Hits + s.Misses
-	pct := 0.0
-	if total > 0 {
-		pct = 100 * float64(s.Hits) / float64(total)
+	if total == 0 {
+		return "store: no traffic"
 	}
+	pct := 100 * float64(s.Hits) / float64(total)
 	return fmt.Sprintf("store: %d hits, %d misses (%.0f%% warm)", s.Hits, s.Misses, pct)
 }
 
-// envelope is the on-disk entry format. Spec and Result are the canonical
-// serialized forms verbatim; Sum fingerprints Result so a lookup (and
-// Verify) can detect payload corruption.
+// envelope is the entry payload format, shared by both layouts (a packed
+// record's payload is exactly a loose file's contents). Spec and Result are
+// the canonical serialized forms verbatim; Sum fingerprints Result so a
+// lookup (and Verify) can detect payload corruption.
 type envelope struct {
 	Tag    string          `json:"tag"`
 	Kind   string          `json:"kind"`
@@ -125,12 +191,52 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, "objects", key[:2], key+".json")
 }
 
-// lookup reads the entry for (kind, spec) into out. Any defect — missing
-// file, unparsable envelope, wrong kind, corrupt payload — is a miss: the
-// caller re-simulates and the write-through overwrites the bad entry.
-func (s *Store) lookup(kind string, spec []byte, out any) bool {
-	env, err := readEnvelope(s.path(key(s.tag, kind, spec)))
-	if err != nil || env.Kind != kind || payloadSum(env.Result) != env.Sum {
+// loadKey fetches the envelope payload for key, trying the in-process
+// overlay of unflushed puts, then the packed index (one ReadAt), then the
+// loose layout (one file read). It returns nil when the key is absent or
+// its bytes fail their checksums.
+func (s *Store) loadKey(key string) []byte {
+	s.mu.RLock()
+	data, buffered := s.pending[key]
+	loc, indexed := s.index[key]
+	s.mu.RUnlock()
+	if buffered {
+		return data
+	}
+	if indexed {
+		if payload, err := s.readRecord(loc); err == nil {
+			return payload
+		}
+		// A bad record (bitrot, lineage mismatch) falls through to the
+		// loose probe; a miss re-simulates and heals.
+	}
+	payload, err := s.readLoose(key)
+	if err != nil {
+		return nil
+	}
+	return payload
+}
+
+// readLoose reads a loose entry file's raw contents.
+func (s *Store) readLoose(key string) ([]byte, error) {
+	data, err := os.ReadFile(s.path(key))
+	if err == nil {
+		s.opens.Add(1)
+	}
+	return data, err
+}
+
+// lookupKey reads the entry at key into out. Any defect — missing record,
+// unparsable envelope, wrong kind, corrupt payload — is a miss: the caller
+// re-simulates and the write-through overwrites the bad entry.
+func (s *Store) lookupKey(kind, key string, out any) bool {
+	data := s.loadKey(key)
+	if data == nil {
+		s.misses.Add(1)
+		return false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Kind != kind || payloadSum(env.Result) != env.Sum {
 		s.misses.Add(1)
 		return false
 	}
@@ -142,8 +248,10 @@ func (s *Store) lookup(kind string, spec []byte, out any) bool {
 	return true
 }
 
-// put writes the entry for (kind, spec) atomically.
-func (s *Store) put(kind string, spec []byte, res any) error {
+// putKey writes the entry for (kind, spec) under its precomputed key: a
+// buffered segment append on the packed path, an atomic loose file write on
+// an OpenLoose handle.
+func (s *Store) putKey(kind string, spec []byte, key string, res any) error {
 	payload, err := json.Marshal(res)
 	if err != nil {
 		return fmt.Errorf("lab: encoding result: %w", err)
@@ -155,7 +263,28 @@ func (s *Store) put(kind string, spec []byte, res any) error {
 	if err != nil {
 		return fmt.Errorf("lab: encoding entry: %w", err)
 	}
-	path := s.path(key(s.tag, kind, spec))
+	if s.loose {
+		if err := s.putLoose(key, data); err != nil {
+			return err
+		}
+		s.puts.Add(1)
+		return nil
+	}
+	s.mu.Lock()
+	s.pending[key] = data
+	s.mu.Unlock()
+	if err := s.writer(key).append(key, data); err != nil {
+		return err
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// putLoose writes one loose entry file atomically (temp file + rename), so
+// concurrent writers and interrupted runs never leave a partial entry under
+// a valid name.
+func (s *Store) putLoose(key string, data []byte) error {
+	path := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("lab: %w", err)
 	}
@@ -163,6 +292,7 @@ func (s *Store) put(kind string, spec []byte, res any) error {
 	if err != nil {
 		return fmt.Errorf("lab: %w", err)
 	}
+	s.opens.Add(1)
 	if _, err := tmp.Write(append(data, '\n')); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
@@ -176,7 +306,6 @@ func (s *Store) put(kind string, spec []byte, res any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("lab: writing entry: %w", err)
 	}
-	s.puts.Add(1)
 	return nil
 }
 
@@ -192,15 +321,46 @@ func readEnvelope(path string) (envelope, error) {
 	return env, nil
 }
 
+// specKeyOf resolves a prepared spec's memoized content key, deriving and
+// caching it on first use so the write-through after a miss never re-hashes.
+func (s *Store) specKeyOf(kind string, ps *bench.PreparedSpec) string {
+	if ps.Key == "" {
+		ps.Key = key(s.tag, kind, ps.Spec)
+	}
+	return ps.Key
+}
+
+// LookupTrialSpec implements bench.KeyedTrialStore: the spec is already
+// canonicalized, and the derived key is memoized on ps for the put.
+func (s *Store) LookupTrialSpec(ps *bench.PreparedSpec) (bench.Result, bool) {
+	var res bench.Result
+	return res, s.lookupKey(KindTrial, s.specKeyOf(KindTrial, ps), &res)
+}
+
+// StoreTrialSpec implements bench.KeyedTrialStore.
+func (s *Store) StoreTrialSpec(ps *bench.PreparedSpec, res bench.Result) error {
+	return s.putKey(KindTrial, ps.Spec, s.specKeyOf(KindTrial, ps), res)
+}
+
+// LookupScenarioSpec implements bench.KeyedTrialStore.
+func (s *Store) LookupScenarioSpec(ps *bench.PreparedSpec) (bench.ScenarioResult, bool) {
+	var res bench.ScenarioResult
+	return res, s.lookupKey(KindScenario, s.specKeyOf(KindScenario, ps), &res)
+}
+
+// StoreScenarioSpec implements bench.KeyedTrialStore.
+func (s *Store) StoreScenarioSpec(ps *bench.PreparedSpec, res bench.ScenarioResult) error {
+	return s.putKey(KindScenario, ps.Spec, s.specKeyOf(KindScenario, ps), res)
+}
+
 // LookupTrial implements bench.TrialStore.
 func (s *Store) LookupTrial(w bench.Workload) (bench.Result, bool) {
-	var res bench.Result
 	spec, err := bench.TrialSpecBytes(w)
 	if err != nil {
 		s.misses.Add(1)
-		return res, false
+		return bench.Result{}, false
 	}
-	return res, s.lookup(KindTrial, spec, &res)
+	return s.LookupTrialSpec(&bench.PreparedSpec{Spec: spec})
 }
 
 // StoreTrial implements bench.TrialStore.
@@ -209,18 +369,17 @@ func (s *Store) StoreTrial(w bench.Workload, res bench.Result) error {
 	if err != nil {
 		return fmt.Errorf("lab: encoding trial spec: %w", err)
 	}
-	return s.put(KindTrial, spec, res)
+	return s.StoreTrialSpec(&bench.PreparedSpec{Spec: spec}, res)
 }
 
 // LookupScenario implements bench.TrialStore.
 func (s *Store) LookupScenario(sw bench.ScenarioWorkload) (bench.ScenarioResult, bool) {
-	var res bench.ScenarioResult
 	spec, err := bench.ScenarioSpecBytes(sw)
 	if err != nil {
 		s.misses.Add(1)
-		return res, false
+		return bench.ScenarioResult{}, false
 	}
-	return res, s.lookup(KindScenario, spec, &res)
+	return s.LookupScenarioSpec(&bench.PreparedSpec{Spec: spec})
 }
 
 // StoreScenario implements bench.TrialStore.
@@ -229,11 +388,11 @@ func (s *Store) StoreScenario(sw bench.ScenarioWorkload, res bench.ScenarioResul
 	if err != nil {
 		return fmt.Errorf("lab: encoding scenario spec: %w", err)
 	}
-	return s.put(KindScenario, spec, res)
+	return s.StoreScenarioSpec(&bench.PreparedSpec{Spec: spec}, res)
 }
 
-// Entry is one decoded store entry. Exactly one of the (Workload, Result)
-// and (Scenario, ScenarioResult) pairs is set, per Kind.
+// Entry is one fully decoded store entry. Exactly one of the (Workload,
+// Result) and (Scenario, ScenarioResult) pairs is set, per Kind.
 type Entry struct {
 	Key  string
 	Tag  string
@@ -246,13 +405,66 @@ type Entry struct {
 	ScenarioResult *bench.ScenarioResult
 }
 
-// walk visits every entry file under the store in deterministic (sorted
-// path) order.
+// SpecEntry is one store entry with its spec decoded and its result left as
+// raw bytes. Cell grouping and diffing need every entry's coordinates and
+// seed (the spec) but only one number from the result, so they read entries
+// spec-first and decode the payload lazily instead of materializing every
+// trial's full Result — tail histograms, phase segments and all.
+type SpecEntry struct {
+	Key  string
+	Tag  string
+	Kind string
+
+	Workload *bench.Workload     // KindTrial
+	Scenario *bench.ScenarioSpec // KindScenario
+
+	rawResult json.RawMessage
+}
+
+// Seed returns the entry's spec seed.
+func (e *SpecEntry) Seed() uint64 {
+	if e.Kind == KindScenario {
+		return e.Scenario.Seed
+	}
+	return e.Workload.Seed
+}
+
+// Throughput partially decodes just the throughput from the raw result.
+func (e *SpecEntry) Throughput() float64 {
+	var t struct{ Throughput float64 }
+	if json.Unmarshal(e.rawResult, &t) != nil {
+		return 0
+	}
+	return t.Throughput
+}
+
+// Decode materializes the full entry, result payload included.
+func (e *SpecEntry) Decode() (Entry, error) {
+	full := Entry{Key: e.Key, Tag: e.Tag, Kind: e.Kind, Workload: e.Workload, Scenario: e.Scenario}
+	if e.Kind == KindScenario {
+		full.ScenarioResult = new(bench.ScenarioResult)
+		if err := json.Unmarshal(e.rawResult, full.ScenarioResult); err != nil {
+			return Entry{}, fmt.Errorf("decoding scenario result: %w", err)
+		}
+		return full, nil
+	}
+	full.Result = new(bench.Result)
+	if err := json.Unmarshal(e.rawResult, full.Result); err != nil {
+		return Entry{}, fmt.Errorf("decoding trial result: %w", err)
+	}
+	return full, nil
+}
+
+// walk visits every loose entry file under the store in deterministic
+// (sorted path) order.
 func (s *Store) walk(fn func(path string) error) error {
 	root := filepath.Join(s.dir, "objects")
 	var paths []string
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil
+			}
 			return err
 		}
 		if !d.IsDir() && strings.HasSuffix(path, ".json") {
@@ -272,59 +484,123 @@ func (s *Store) walk(fn func(path string) error) error {
 	return nil
 }
 
-// decodeEntry fully decodes one entry file, verifying its content address
-// and payload fingerprint.
-func decodeEntry(path string) (Entry, error) {
-	env, err := readEnvelope(path)
-	if err != nil {
-		return Entry{}, err
-	}
-	name := strings.TrimSuffix(filepath.Base(path), ".json")
+// specEntryOf validates an envelope against its claimed content address and
+// decodes its spec, leaving the result raw.
+func specEntryOf(name string, env envelope) (SpecEntry, error) {
 	if got := key(env.Tag, env.Kind, env.Spec); got != name {
-		return Entry{}, fmt.Errorf("content address mismatch: file %s, spec hashes to %s", name, got)
+		return SpecEntry{}, fmt.Errorf("content address mismatch: entry %s, spec hashes to %s", name, got)
 	}
 	if payloadSum(env.Result) != env.Sum {
-		return Entry{}, errors.New("result payload does not match its fingerprint")
+		return SpecEntry{}, errors.New("result payload does not match its fingerprint")
 	}
-	e := Entry{Key: name, Tag: env.Tag, Kind: env.Kind}
+	e := SpecEntry{Key: name, Tag: env.Tag, Kind: env.Kind, rawResult: env.Result}
 	switch env.Kind {
 	case KindTrial:
 		e.Workload = new(bench.Workload)
-		e.Result = new(bench.Result)
 		if err := json.Unmarshal(env.Spec, e.Workload); err != nil {
-			return Entry{}, fmt.Errorf("decoding trial spec: %w", err)
-		}
-		if err := json.Unmarshal(env.Result, e.Result); err != nil {
-			return Entry{}, fmt.Errorf("decoding trial result: %w", err)
+			return SpecEntry{}, fmt.Errorf("decoding trial spec: %w", err)
 		}
 	case KindScenario:
 		e.Scenario = new(bench.ScenarioSpec)
-		e.ScenarioResult = new(bench.ScenarioResult)
 		if err := json.Unmarshal(env.Spec, e.Scenario); err != nil {
-			return Entry{}, fmt.Errorf("decoding scenario spec: %w", err)
-		}
-		if err := json.Unmarshal(env.Result, e.ScenarioResult); err != nil {
-			return Entry{}, fmt.Errorf("decoding scenario result: %w", err)
+			return SpecEntry{}, fmt.Errorf("decoding scenario spec: %w", err)
 		}
 	default:
-		return Entry{}, fmt.Errorf("unknown entry kind %q", env.Kind)
+		return SpecEntry{}, fmt.Errorf("unknown entry kind %q", env.Kind)
 	}
 	return e, nil
 }
 
-// Entries decodes every valid entry in the store (all engine tags), in
-// deterministic order. Corrupt entries are skipped — Verify reports them.
-func (s *Store) Entries() ([]Entry, error) {
-	var entries []Entry
-	err := s.walk(func(path string) error {
-		e, err := decodeEntry(path)
-		if err != nil {
-			return nil // corrupt: Verify's business
+// forEachSpecEntry visits every valid entry across both layouts, packed
+// index winners first, then loose files whose key the index doesn't hold
+// (the packed write path is newer than any loose leftover). Corrupt entries
+// are skipped — Verify reports them. Whole-store reads flush and refresh
+// first, so they see every durable record, this handle's and others'.
+func (s *Store) forEachSpecEntry(fn func(SpecEntry)) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if err := s.refresh(); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	packed := map[string]bool{}
+	for _, k := range keys {
+		s.mu.RLock()
+		loc, ok := s.index[k]
+		s.mu.RUnlock()
+		if !ok {
+			continue
 		}
-		entries = append(entries, e)
+		payload, err := s.readRecord(loc)
+		if err != nil {
+			continue
+		}
+		var env envelope
+		if json.Unmarshal(payload, &env) != nil {
+			continue
+		}
+		e, err := specEntryOf(k, env)
+		if err != nil {
+			continue
+		}
+		packed[k] = true
+		fn(e)
+	}
+	return s.walk(func(path string) error {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		if packed[name] {
+			return nil
+		}
+		env, err := readEnvelope(path)
+		if err != nil {
+			return nil
+		}
+		s.opens.Add(1)
+		e, err := specEntryOf(name, env)
+		if err != nil {
+			return nil
+		}
+		fn(e)
 		return nil
 	})
-	return entries, err
+}
+
+// SpecEntries reads every valid entry (all engine tags, both layouts) with
+// specs decoded and results raw, in deterministic (sorted key) order.
+func (s *Store) SpecEntries() ([]SpecEntry, error) {
+	var entries []SpecEntry
+	err := s.forEachSpecEntry(func(e SpecEntry) { entries = append(entries, e) })
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return entries, nil
+}
+
+// Entries fully decodes every valid entry in the store (all engine tags,
+// both layouts), in deterministic order. Corrupt entries are skipped —
+// Verify reports them.
+func (s *Store) Entries() ([]Entry, error) {
+	specs, err := s.SpecEntries()
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	for i := range specs {
+		e, err := specs[i].Decode()
+		if err != nil {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
 }
 
 // Problem is one integrity defect found by Verify.
@@ -333,13 +609,77 @@ type Problem struct {
 	Reason string
 }
 
-// Verify checks the integrity of every entry: envelope parses, the file
-// name matches the content address of (tag, kind, spec), and the result
-// payload matches its fingerprint. It returns the number of sound entries
-// alongside the defects.
+// verifyPayload checks one entry payload end to end: envelope parses, the
+// claimed key matches the content address of (tag, kind, spec), the result
+// payload matches its fingerprint, and the spec decodes under its kind.
+func verifyPayload(name string, payload []byte) (envelope, error) {
+	var env envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return env, err
+	}
+	_, err := specEntryOf(name, env)
+	return env, err
+}
+
+// Verify checks the integrity of every entry in both layouts. For loose
+// entries: the envelope parses, the file name matches the content address,
+// and the payload matches its fingerprint. For packed segments every
+// record is re-framed, re-checksummed, and verified the same way; a
+// truncated or corrupt tail (the residue of a crashed flush) is reported
+// once per segment — lookups already ignore it, and Pack drops it. It
+// returns the number of sound records alongside the defects.
 func (s *Store) Verify() (sound int, problems []Problem, err error) {
+	if err := s.Flush(); err != nil {
+		return 0, nil, err
+	}
+	if err := s.refresh(); err != nil {
+		return 0, nil, err
+	}
+	segs, err := s.listSegments()
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, seg := range segs {
+		path := s.segmentPath(seg)
+		f, ferr := os.Open(path)
+		if ferr != nil {
+			return 0, nil, fmt.Errorf("lab: %w", ferr)
+		}
+		s.opens.Add(1)
+		st, serr := f.Stat()
+		if serr != nil {
+			f.Close()
+			return 0, nil, fmt.Errorf("lab: %w", serr)
+		}
+		end, serr := scanSegment(f, 0, func(key string, loc recLoc, payload []byte) error {
+			if _, verr := verifyPayload(key, payload); verr != nil {
+				problems = append(problems, Problem{
+					Path:   fmt.Sprintf("%s@%d", path, loc.off),
+					Reason: verr.Error(),
+				})
+				return nil
+			}
+			sound++
+			return nil
+		}, seg)
+		f.Close()
+		if serr != nil {
+			return 0, nil, serr
+		}
+		if end < st.Size() {
+			problems = append(problems, Problem{
+				Path:   fmt.Sprintf("%s@%d", path, end),
+				Reason: fmt.Sprintf("truncated or checksum-corrupt tail record (%d trailing bytes ignored; calab pack drops them)", st.Size()-end),
+			})
+		}
+	}
 	err = s.walk(func(path string) error {
-		if _, derr := decodeEntry(path); derr != nil {
+		data, derr := os.ReadFile(path)
+		if derr == nil {
+			s.opens.Add(1)
+			_, derr = verifyPayload(strings.TrimSuffix(filepath.Base(path), ".json"), data)
+		}
+		if derr != nil {
 			problems = append(problems, Problem{Path: path, Reason: derr.Error()})
 			return nil
 		}
@@ -351,12 +691,31 @@ func (s *Store) Verify() (sound int, problems []Problem, err error) {
 
 // GC removes store entries that can no longer serve lookups: entries
 // written under a different engine tag than the current one, and corrupt
-// entries. With all set, every entry goes. It returns the number of entries
+// entries. With all set, every entry goes. Loose entries are unlinked;
+// packed survivors are compacted into a fresh segment (which also drops
+// superseded records and crash residue). It returns the number of entries
 // removed and kept.
 func (s *Store) GC(all bool) (removed, kept int, err error) {
+	if err := s.Flush(); err != nil {
+		return 0, 0, err
+	}
+	if err := s.refresh(); err != nil {
+		return 0, 0, err
+	}
+
+	// Loose layout: unlink losers file by file, as always; survivors stay
+	// loose (conversion is Pack's, not GC's).
 	err = s.walk(func(path string) error {
-		e, derr := decodeEntry(path)
-		if !all && derr == nil && e.Tag == s.tag {
+		keep := false
+		if !all {
+			if data, derr := os.ReadFile(path); derr == nil {
+				s.opens.Add(1)
+				name := strings.TrimSuffix(filepath.Base(path), ".json")
+				env, verr := verifyPayload(name, data)
+				keep = verr == nil && env.Tag == s.tag
+			}
+		}
+		if keep {
 			kept++
 			return nil
 		}
@@ -366,5 +725,51 @@ func (s *Store) GC(all bool) (removed, kept int, err error) {
 		removed++
 		return nil
 	})
-	return removed, kept, err
+	if err != nil {
+		return removed, kept, err
+	}
+
+	// Packed layout: prune the index of losers, then compact the
+	// survivors into a fresh segment (which also drops superseded records
+	// and crash residue).
+	for _, key := range s.indexKeys() {
+		s.mu.RLock()
+		loc, ok := s.index[key]
+		s.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		keep := false
+		if !all {
+			if payload, rerr := s.readRecord(loc); rerr == nil {
+				env, verr := verifyPayload(key, payload)
+				keep = verr == nil && env.Tag == s.tag
+			}
+		}
+		if keep {
+			kept++
+			continue
+		}
+		s.mu.Lock()
+		delete(s.index, key)
+		s.dirty = true
+		s.mu.Unlock()
+		removed++
+	}
+	if err := s.compactSegments(nil); err != nil {
+		return removed, kept, err
+	}
+	return removed, kept, nil
+}
+
+// indexKeys snapshots the index's keys in sorted order.
+func (s *Store) indexKeys() []string {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
 }

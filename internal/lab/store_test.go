@@ -205,7 +205,9 @@ func entryPaths(t *testing.T, st *Store) []string {
 // the fingerprint check — lookups treat the entry as cold and re-simulation
 // repairs it, and Verify names the defect.
 func TestCorruptionIsAMissAndVerifyReportsIt(t *testing.T) {
-	st, err := Open(t.TempDir())
+	// A loose handle, so the entry is a file this test can flip bytes in;
+	// packed-record corruption is covered by the segment crash tests.
+	st, err := OpenLoose(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +265,7 @@ func TestCorruptionIsAMissAndVerifyReportsIt(t *testing.T) {
 // unreachable and must be collected; current-tag entries stay.
 func TestGCRemovesForeignTags(t *testing.T) {
 	dir := t.TempDir()
-	st, err := Open(dir)
+	st, err := OpenLoose(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +277,10 @@ func TestGCRemovesForeignTags(t *testing.T) {
 	}
 
 	// A second handle pinned to a stale engine tag writes a foreign entry.
-	old := &Store{dir: dir, tag: "0000deadbeef0000"}
+	old, err := openTagged(dir, "0000deadbeef0000", true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := old.StoreTrial(w, res); err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +340,13 @@ func TestEngineTagScopesLookups(t *testing.T) {
 	if _, err := r.Run(w); err != nil {
 		t.Fatal(err)
 	}
-	other := &Store{dir: dir, tag: "ffffffffffffffff"}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	other, err := openTagged(dir, "ffffffffffffffff", false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, ok := other.LookupTrial(w); ok {
 		t.Fatal("entry visible across engine tags")
 	}
