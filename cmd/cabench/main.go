@@ -27,6 +27,7 @@ import (
 
 	"condaccess/internal/bench"
 	"condaccess/internal/lab"
+	"condaccess/internal/obs"
 )
 
 // options is the parsed command line.
@@ -36,6 +37,7 @@ type options struct {
 	storePath string
 	verbose   bool
 	tail      bool
+	obs       obs.CLIFlags
 }
 
 // reportedError marks an error the flag package has already printed to
@@ -69,6 +71,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		lat     = fs.Bool("lat", false, "also print per-point latency percentiles")
 		tail    = fs.Bool("tail", false, "print the tail-latency table: per-point percentiles over all trials merged")
 	)
+	var ob obs.CLIFlags
+	ob.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return options{}, reportedError{err}
 	}
@@ -103,6 +107,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		storePath: *store,
 		verbose:   *verbose,
 		tail:      *tail,
+		obs:       ob,
 	}, nil
 }
 
@@ -125,15 +130,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+	if opt.obs.Version {
+		fmt.Fprintln(stdout, obs.VersionLine("cabench", bench.EngineTag()))
+		return 0
+	}
+	sess, err := opt.obs.Start(obs.SessionConfig{
+		Tool: "cabench", EngineTag: bench.EngineTag(), Args: args,
+		Spec: opt.cfg, Stderr: stderr, StoreDir: opt.storePath,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "cabench:", err)
+		return 1
+	}
+	err = sweep(opt, sess.Rec, stdout, stderr)
+	// A session teardown failure (manifest write, profile flush) only
+	// surfaces when the run itself succeeded; the run's error is primary.
+	if cerr := sess.Close(err); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "cabench:", err)
+		return 1
+	}
+	return 0
+}
+
+// sweep executes the parsed sweep and renders every output. Observability
+// (rec may be nil) is out-of-band: stdout is byte-identical with or without
+// it.
+func sweep(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 	cfg := opt.cfg
+	cfg.Obs = rec
 	var store *lab.Store
 	if opt.storePath != "" {
 		st, err := lab.Open(opt.storePath)
 		if err != nil {
-			fmt.Fprintln(stderr, "cabench:", err)
-			return 1
+			return err
 		}
 		store = st
+		store.OnFlush = rec.StoreFlushed
 		cfg.Store = st
 	}
 	lat := cfg.RecordLatency
@@ -154,16 +189,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	points, err := bench.Sweep(cfg, progress)
 	if err != nil {
-		fmt.Fprintln(stderr, "cabench:", err)
-		return 1
+		return err
 	}
 	if store != nil {
 		// Close flushes the store's batched segment writes and persists its
 		// index sidecar; results are not durable before it returns.
 		if err := store.Close(); err != nil {
-			fmt.Fprintln(stderr, "cabench:", err)
-			return 1
+			return err
 		}
+		rec.SetStore(store.Stats().Rollup())
 		fmt.Fprintln(stderr, store.Stats())
 	}
 	for _, u := range cfg.Updates {
@@ -178,16 +212,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if opt.csvPath != "" {
 		f, err := os.Create(opt.csvPath)
 		if err != nil {
-			fmt.Fprintln(stderr, "cabench:", err)
-			return 1
+			return err
 		}
 		defer f.Close()
 		if err := bench.WriteCSV(f, cfg.DS, points); err != nil {
-			fmt.Fprintln(stderr, "cabench:", err)
-			return 1
+			return err
 		}
 	}
-	return 0
+	return nil
 }
 
 // printTail renders the per-point tail-latency table: percentiles of the

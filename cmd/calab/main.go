@@ -9,6 +9,9 @@
 //	calab verify -store DIR             # integrity: content addresses and payload fingerprints
 //	calab pack -store DIR               # convert loose objects/ entries into packed segments
 //	calab index -store DIR              # rebuild the segment sidecar index by scanning segments
+//	calab runs -store DIR               # list the run manifests under DIR/runs
+//	calab runs -run ID -store DIR       # inspect one run's manifest (or -run PATH)
+//	calab runs -a X -b Y [-store DIR]   # A/B two runs' timing rollups
 //
 // Entries are keyed by the engine tag (a digest of the golden files pinning
 // the engine's output), so results from different engine versions never mix:
@@ -26,16 +29,20 @@ import (
 	"strconv"
 	"strings"
 
+	"condaccess/internal/bench"
 	"condaccess/internal/lab"
+	"condaccess/internal/obs"
 )
 
 // options is the parsed command line.
 type options struct {
 	cmd     string
-	store   string // inspect, gc, export, verify
-	a, b    string // diff
+	store   string // inspect, gc, export, verify; optional for runs
+	a, b    string // diff, runs
 	all     bool   // gc
 	csvPath string // export; empty writes to stdout
+	runID   string // runs
+	prof    obs.Profiler
 }
 
 // reportedError marks an error the flag package has already printed to
@@ -45,7 +52,7 @@ type reportedError struct{ err error }
 func (e reportedError) Error() string { return e.err.Error() }
 func (e reportedError) Unwrap() error { return e.err }
 
-const usageText = "usage: calab <inspect|diff|gc|export|verify|pack|index> [flags]\n"
+const usageText = "usage: calab <inspect|diff|gc|export|verify|pack|index|runs> [flags]\n"
 
 // parseArgs parses the subcommand and its flag set. Split out of main for
 // testability.
@@ -58,7 +65,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	fs := flag.NewFlagSet("calab "+opt.cmd, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	storeFlag := func() *string { return fs.String("store", "", "result store directory (required)") }
-	var store, a, b, csvPath *string
+	var store, a, b, csvPath, runID *string
 	var all *bool
 	switch opt.cmd {
 	case "inspect", "verify", "pack", "index":
@@ -72,6 +79,13 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	case "diff":
 		a = fs.String("a", "", "baseline store directory (required)")
 		b = fs.String("b", "", "candidate store directory (required)")
+	case "runs":
+		store = fs.String("store", "", "store directory whose runs/ manifests to list (or resolve ids in)")
+		runID = fs.String("run", "", "inspect one run: a manifest path, or a run id with -store")
+		a = fs.String("a", "", "A/B baseline: manifest path or run id (resolved in -store)")
+		b = fs.String("b", "", "A/B candidate: manifest path or run id (resolved in -store)")
+	case "-version", "--version", "version":
+		return options{cmd: "version"}, nil
 	case "-h", "-help", "--help", "help":
 		fmt.Fprint(stderr, usageText)
 		return options{}, reportedError{flag.ErrHelp}
@@ -79,20 +93,31 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		fmt.Fprint(stderr, usageText)
 		return options{}, reportedError{fmt.Errorf("unknown subcommand %q", opt.cmd)}
 	}
+	opt.prof.Register(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return options{}, reportedError{err}
 	}
 	if store != nil {
-		if *store == "" {
+		if *store == "" && opt.cmd != "runs" {
 			return options{}, fmt.Errorf("%s: -store is required", opt.cmd)
 		}
 		opt.store = *store
 	}
 	if a != nil {
-		if *a == "" || *b == "" {
+		if opt.cmd == "runs" {
+			if (*a == "") != (*b == "") {
+				return options{}, errors.New("runs: -a and -b go together")
+			}
+		} else if *a == "" || *b == "" {
 			return options{}, errors.New("diff: both -a and -b are required")
 		}
 		opt.a, opt.b = *a, *b
+	}
+	if runID != nil {
+		opt.runID = *runID
+		if opt.store == "" && opt.runID == "" && opt.a == "" {
+			return options{}, errors.New("runs: one of -store, -run, or -a/-b is required")
+		}
 	}
 	if all != nil {
 		opt.all = *all
@@ -115,7 +140,18 @@ func main() {
 		}
 		os.Exit(2)
 	}
-	if err := run(opt, os.Stdout); err != nil {
+	// Profiling (shared -cpuprofile/-memprofile/-exectrace flags) wraps the
+	// command body; a profile-teardown failure only surfaces when the command
+	// itself succeeded.
+	if err := opt.prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "calab:", err)
+		os.Exit(1)
+	}
+	err = run(opt, os.Stdout)
+	if perr := opt.prof.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "calab:", err)
 		os.Exit(1)
 	}
@@ -124,6 +160,11 @@ func main() {
 // run dispatches a parsed command, writing its report to out.
 func run(opt options, out io.Writer) error {
 	switch opt.cmd {
+	case "version":
+		fmt.Fprintln(out, obs.VersionLine("calab", bench.EngineTag()))
+		return nil
+	case "runs":
+		return runs(opt, out)
 	case "inspect":
 		return inspect(opt.store, out)
 	case "verify":

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"condaccess/internal/obs"
+)
+
+func TestParseArgsRuns(t *testing.T) {
+	cases := []struct {
+		args []string
+		ok   bool
+	}{
+		{[]string{"runs", "-store", "d"}, true},
+		{[]string{"runs", "-run", "id", "-store", "d"}, true},
+		{[]string{"runs", "-run", "some/path.json"}, true},
+		{[]string{"runs", "-a", "x", "-b", "y"}, true},
+		{[]string{"runs"}, false},            // nothing to do
+		{[]string{"runs", "-a", "x"}, false}, // -a without -b
+		{[]string{"runs", "-b", "y"}, false}, // -b without -a
+	}
+	for _, tc := range cases {
+		opt, err := parseArgs(tc.args, io.Discard)
+		if tc.ok && err != nil {
+			t.Errorf("parseArgs(%v) = %v, want ok", tc.args, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("parseArgs(%v) accepted, want error", tc.args)
+		}
+		if tc.ok && opt.cmd != "runs" {
+			t.Errorf("parseArgs(%v) cmd = %q", tc.args, opt.cmd)
+		}
+	}
+}
+
+func TestParseArgsVersion(t *testing.T) {
+	for _, args := range [][]string{{"-version"}, {"--version"}, {"version"}} {
+		opt, err := parseArgs(args, io.Discard)
+		if err != nil || opt.cmd != "version" {
+			t.Errorf("parseArgs(%v) = %+v, %v; want cmd version", args, opt, err)
+		}
+	}
+	var out strings.Builder
+	if err := run(options{cmd: "version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "calab ") || !strings.Contains(out.String(), "engine ") {
+		t.Errorf("version output = %q", out.String())
+	}
+}
+
+// fakeRun writes a manifest as an instrumented CLI would, returning its id.
+func fakeRun(t *testing.T, storeDir, tool string, warm bool, simulate time.Duration) string {
+	t.Helper()
+	r := obs.New(obs.Config{Tool: tool, EngineTag: "e1", ManifestDir: obs.RunsDir(storeDir)})
+	r.AddPoints([]string{"list/ca t=2 u=100"}, 1)
+	w := r.Worker(0)
+	t0 := w.Start(obs.PhaseSimulate)
+	time.Sleep(simulate)
+	w.End(obs.PhaseSimulate, t0)
+	if warm {
+		w.Warm()
+	}
+	w.Commit(0)
+	if err := r.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	return r.RunID()
+}
+
+func TestRunsEndToEnd(t *testing.T) {
+	store := t.TempDir()
+	idA := fakeRun(t, store, "cabench", false, 2*time.Millisecond)
+	time.Sleep(5 * time.Millisecond) // distinct run ids and ordering
+	idB := fakeRun(t, store, "cabench", true, 0)
+
+	var list strings.Builder
+	if err := run(options{cmd: "runs", store: store}, &list); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(list.String(), idA) || !strings.Contains(list.String(), idB) {
+		t.Errorf("list misses a run:\n%s", list.String())
+	}
+	if got := strings.Count(list.String(), "\n"); got != 3 { // header + two rows
+		t.Errorf("list holds %d lines, want 3:\n%s", got, list.String())
+	}
+
+	// Inspect by id (resolved in the store) and by direct path.
+	var byID, byPath strings.Builder
+	if err := run(options{cmd: "runs", store: store, runID: idB}, &byID); err != nil {
+		t.Fatal(err)
+	}
+	path := obs.ManifestPath(obs.RunsDir(store), idB)
+	if err := run(options{cmd: "runs", runID: path}, &byPath); err != nil {
+		t.Fatal(err)
+	}
+	if byID.String() != byPath.String() {
+		t.Errorf("inspect by id and by path diverge:\n%s\nvs\n%s", byID.String(), byPath.String())
+	}
+	if !strings.Contains(byID.String(), "trials 1/1, 1 warm (100%)") {
+		t.Errorf("inspect output:\n%s", byID.String())
+	}
+	if !strings.Contains(byID.String(), "simulate 0s") {
+		t.Errorf("warm run's simulate span not zero:\n%s", byID.String())
+	}
+
+	var diffOut strings.Builder
+	if err := run(options{cmd: "runs", store: store, a: idA, b: idB}, &diffOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"A = " + idA, "B = " + idB, "simulate", "wall", "B/A"} {
+		if !strings.Contains(diffOut.String(), want) {
+			t.Errorf("diff output misses %q:\n%s", want, diffOut.String())
+		}
+	}
+
+	// An id with no -store is unresolvable and must say so.
+	if err := run(options{cmd: "runs", runID: "someid"}, io.Discard); err == nil || !strings.Contains(err.Error(), "-store") {
+		t.Errorf("bare run id error = %v, want a -store hint", err)
+	}
+
+	// An empty archive is a report, not an error.
+	var empty strings.Builder
+	if err := run(options{cmd: "runs", store: t.TempDir()}, &empty); err == nil {
+		t.Error("listing a store with no runs/ dir should fail (nothing recorded there)")
+	} else if !strings.Contains(err.Error(), "runs") {
+		t.Errorf("empty archive error = %v", err)
+	}
+}

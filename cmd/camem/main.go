@@ -20,6 +20,7 @@ import (
 
 	"condaccess/internal/bench"
 	"condaccess/internal/lab"
+	"condaccess/internal/obs"
 )
 
 // options is the parsed command line: one Workload per scheme plus the
@@ -30,6 +31,7 @@ type options struct {
 	csvPath   string
 	storePath string
 	workers   int
+	obs       obs.CLIFlags
 }
 
 // reportedError marks an error the flag package has already printed to
@@ -56,6 +58,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		store   = fs.String("store", "", "content-addressed result store directory (warm schemes skip simulation)")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel scheme workers (1: sequential)")
 	)
+	var ob obs.CLIFlags
+	ob.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return options{}, reportedError{err}
 	}
@@ -81,44 +85,76 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	return options{
 		ws: ws, schemes: names,
 		csvPath: *csvPath, storePath: *store, workers: *workers,
+		obs: ob,
 	}, nil
 }
 
-func main() {
-	opt, err := parseArgs(os.Args[1:], os.Stderr)
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its exit code and streams surfaced (the same contract as
+// the other commands): every error path prints exactly one line to stderr
+// and returns non-zero (2 for command-line errors, 1 for runtime failures).
+func run(args []string, stdout, stderr io.Writer) int {
+	opt, err := parseArgs(args, stderr)
 	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
-			os.Exit(0)
+			return 0
 		}
 		var rep reportedError
 		if !errors.As(err, &rep) {
-			fmt.Fprintln(os.Stderr, "camem:", err)
+			fmt.Fprintln(stderr, "camem:", err)
 		}
-		os.Exit(2)
+		return 2
 	}
+	if opt.obs.Version {
+		fmt.Fprintln(stdout, obs.VersionLine("camem", bench.EngineTag()))
+		return 0
+	}
+	sess, err := opt.obs.Start(obs.SessionConfig{
+		Tool: "camem", EngineTag: bench.EngineTag(), Args: args,
+		Spec: opt.ws, Stderr: stderr, StoreDir: opt.storePath,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "camem:", err)
+		return 1
+	}
+	err = footprint(opt, sess.Rec, stdout, stderr)
+	if cerr := sess.Close(err); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "camem:", err)
+		return 1
+	}
+	return 0
+}
+
+// footprint runs the per-scheme workloads and renders the Figure 3 table
+// (and CSV). Observability (rec may be nil) is out-of-band.
+func footprint(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 	var store *lab.Store
 	var trialStore bench.TrialStore // typed nil must stay an untyped nil interface
 	if opt.storePath != "" {
-		store, err = lab.Open(opt.storePath)
+		st, err := lab.Open(opt.storePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "camem:", err)
-			os.Exit(1)
+			return err
 		}
+		store = st
+		store.OnFlush = rec.StoreFlushed
 		trialStore = store
 	}
-	results, err := bench.RunMany(opt.ws, opt.workers, trialStore)
+	results, err := bench.RunManyObserved(opt.ws, opt.workers, trialStore, rec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "camem:", err)
-		os.Exit(1)
+		return err
 	}
 	if store != nil {
 		// Close flushes the store's batched segment writes and persists its
 		// index sidecar; results are not durable before it returns.
 		if err := store.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "camem:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Fprintln(os.Stderr, store.Stats())
+		rec.SetStore(store.Stats().Rollup())
+		fmt.Fprintln(stderr, store.Stats())
 	}
 	names := opt.schemes
 	series := map[string]map[int]uint64{}
@@ -150,14 +186,13 @@ func main() {
 		}
 		out.WriteByte('\n')
 	}
-	fmt.Printf("Figure 3: allocated-but-not-freed nodes, lazy list, %d threads, 100%% updates\n", opt.ws[0].Threads)
-	fmt.Print(out.String())
+	fmt.Fprintf(stdout, "Figure 3: allocated-but-not-freed nodes, lazy list, %d threads, 100%% updates\n", opt.ws[0].Threads)
+	fmt.Fprint(stdout, out.String())
 
 	if opt.csvPath != "" {
 		f, err := os.Create(opt.csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "camem:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		fmt.Fprintln(f, "ops,"+strings.Join(names, ","))
@@ -170,4 +205,5 @@ func main() {
 			fmt.Fprintln(f, strings.Join(row, ","))
 		}
 	}
+	return nil
 }

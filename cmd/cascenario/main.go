@@ -24,6 +24,7 @@ import (
 
 	"condaccess/internal/bench"
 	"condaccess/internal/lab"
+	"condaccess/internal/obs"
 	"condaccess/internal/scenario"
 )
 
@@ -35,6 +36,7 @@ type options struct {
 	lat       bool
 	tail      bool
 	list      bool
+	obs       obs.CLIFlags
 }
 
 // reportedError marks an error the flag package has already printed to
@@ -66,8 +68,15 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		tail    = fs.Bool("tail", false, "print per-phase tail-latency tables: per-kind and per-attribution percentiles")
 		store   = fs.String("store", "", "content-addressed result store directory (warm trials skip simulation)")
 	)
+	var ob obs.CLIFlags
+	ob.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return options{}, reportedError{err}
+	}
+	// -version and -list need no scenario; they win before the
+	// one-of-preset/file/list requirement can reject the command line.
+	if ob.Version {
+		return options{obs: ob}, nil
 	}
 	if *list {
 		return options{list: true}, nil
@@ -116,6 +125,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		storePath: *store,
 		lat:       *lat,
 		tail:      *tail,
+		obs:       ob,
 	}, nil
 }
 
@@ -138,29 +148,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+	if opt.obs.Version {
+		fmt.Fprintln(stdout, obs.VersionLine("cascenario", bench.EngineTag()))
+		return 0
+	}
 	if opt.list {
 		printPresets(stdout)
 		return 0
 	}
+	sess, err := opt.obs.Start(obs.SessionConfig{
+		Tool: "cascenario", EngineTag: bench.EngineTag(), Args: args,
+		Spec: struct {
+			Schemes  []string
+			Scenario bench.ScenarioWorkload
+		}{opt.schemes, opt.sw},
+		Stderr: stderr, StoreDir: opt.storePath,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "cascenario:", err)
+		return 1
+	}
+	err = runScenarios(opt, sess.Rec, stdout, stderr)
+	if cerr := sess.Close(err); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "cascenario:", err)
+		return 1
+	}
+	return 0
+}
+
+// runScenarios executes one scenario trial per scheme, each declared as one
+// observability point (rec may be nil).
+func runScenarios(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 	var runner bench.Runner
 	var store *lab.Store
 	if opt.storePath != "" {
 		st, err := lab.Open(opt.storePath)
 		if err != nil {
-			fmt.Fprintln(stderr, "cascenario:", err)
-			return 1
+			return err
 		}
 		store = st
+		store.OnFlush = rec.StoreFlushed
 		runner.Store = st
 	}
-	for _, scheme := range opt.schemes {
+	runner.Obs = rec.Worker(0)
+	base := 0
+	if rec != nil {
+		labels := make([]string, len(opt.schemes))
+		for i, scheme := range opt.schemes {
+			labels[i] = fmt.Sprintf("%s %s/%s t=%d", opt.sw.Scenario.Name, opt.sw.DS, scheme, opt.sw.Threads)
+		}
+		base = rec.AddPoints(labels, 1)
+	}
+	for i, scheme := range opt.schemes {
+		rec.PointStart(base + i)
 		sw := opt.sw
 		sw.Scheme = scheme
 		res, err := runner.RunScenario(sw)
 		if err != nil {
-			fmt.Fprintln(stderr, "cascenario:", err)
-			return 1
+			runner.Obs.Abandon()
+			return err
 		}
+		runner.Obs.Commit(base + i)
+		rec.PointDone(base + i)
 		printResult(stdout, sw, res, opt.lat)
 		if opt.tail {
 			printTail(stdout, res)
@@ -170,12 +222,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Close flushes the store's batched segment writes and persists its
 		// index sidecar; results are not durable before it returns.
 		if err := store.Close(); err != nil {
-			fmt.Fprintln(stderr, "cascenario:", err)
-			return 1
+			return err
 		}
+		rec.SetStore(store.Stats().Rollup())
 		fmt.Fprintln(stderr, store.Stats())
 	}
-	return 0
+	return nil
 }
 
 // printPresets renders the built-in scenario catalog.

@@ -261,3 +261,19 @@ func TestRunFailureModes(t *testing.T) {
 		})
 	}
 }
+
+// TestVersionFlag pins the shared -version contract: exit 0, one stdout
+// line naming the tool and engine tag, nothing on stderr.
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run -version = %d (stderr %q)", code, stderr.String())
+	}
+	line := strings.TrimSpace(stdout.String())
+	if !strings.HasPrefix(line, "cascenario ") || !strings.Contains(line, "engine ") {
+		t.Errorf("version line = %q", line)
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("stderr = %q, want empty", stderr.String())
+	}
+}

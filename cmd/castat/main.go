@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"condaccess/internal/bench"
+	"condaccess/internal/obs"
 )
 
 // options is the parsed command line: the workload template (Scheme is
@@ -25,6 +26,7 @@ import (
 type options struct {
 	w       bench.Workload
 	schemes []string
+	obs     obs.CLIFlags
 }
 
 // reportedError marks an error the flag package has already printed to
@@ -49,6 +51,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		dist    = fs.String("dist", "uniform", "key distribution: uniform or zipf")
 		seed    = fs.Uint64("seed", 1, "RNG seed")
 	)
+	var ob obs.CLIFlags
+	ob.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return options{}, reportedError{err}
 	}
@@ -69,53 +73,94 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 			RecordLatency: true,
 		},
 		schemes: schemeList,
+		obs:     ob,
 	}, nil
 }
 
-func main() {
-	opt, err := parseArgs(os.Args[1:], os.Stderr)
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its exit code and streams surfaced (the same contract as
+// the other commands): every error path prints exactly one line to stderr
+// and returns non-zero (2 for command-line errors, 1 for runtime failures).
+func run(args []string, stdout, stderr io.Writer) int {
+	opt, err := parseArgs(args, stderr)
 	if err != nil {
 		if errors.Is(err, flag.ErrHelp) {
-			os.Exit(0)
+			return 0
 		}
 		var rep reportedError
 		if !errors.As(err, &rep) {
-			fmt.Fprintln(os.Stderr, "castat:", err)
+			fmt.Fprintln(stderr, "castat:", err)
 		}
-		os.Exit(2)
+		return 2
 	}
+	if opt.obs.Version {
+		fmt.Fprintln(stdout, obs.VersionLine("castat", bench.EngineTag()))
+		return 0
+	}
+	sess, err := opt.obs.Start(obs.SessionConfig{
+		Tool: "castat", EngineTag: bench.EngineTag(), Args: args,
+		Spec: opt.w, Stderr: stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "castat:", err)
+		return 1
+	}
+	err = stat(opt, sess.Rec, stdout)
+	if cerr := sess.Close(err); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "castat:", err)
+		return 1
+	}
+	return 0
+}
+
+// stat runs one workload per scheme and prints the detail blocks.
+// Observability (rec may be nil) is out-of-band.
+func stat(opt options, rec *obs.Rec, stdout io.Writer) error {
 	w := opt.w
-	fmt.Printf("%s, %d threads, %d%% updates, %d keys (%s), %d ops/thread\n\n",
+	fmt.Fprintf(stdout, "%s, %d threads, %d%% updates, %d keys (%s), %d ops/thread\n\n",
 		w.DS, w.Threads, w.UpdatePct, w.KeyRange, w.Dist, w.OpsPerThread)
-	var runner bench.Runner
-	for _, scheme := range opt.schemes {
+	labels := make([]string, len(opt.schemes))
+	for i, scheme := range opt.schemes {
+		labels[i] = fmt.Sprintf("%s/%s t=%d u=%d", w.DS, scheme, w.Threads, w.UpdatePct)
+	}
+	base := rec.AddPoints(labels, 1)
+	runner := bench.Runner{Obs: rec.Worker(0)}
+	for i, scheme := range opt.schemes {
 		w.Scheme = scheme
+		rec.PointStart(base + i)
 		res, err := runner.Run(w)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "castat:", err)
-			os.Exit(1)
+			runner.Obs.Abandon()
+			return err
 		}
+		runner.Obs.Commit(base + i)
+		rec.PointDone(base + i)
 		c := res.Cache
 		accesses := c.L1Hits + c.L1Misses
-		fmt.Printf("== %s: %.1f ops/Mcyc ==\n", scheme, res.Throughput)
-		fmt.Printf("  cache:   %d accesses, L1 hit %.2f%%, L2 miss %d, remote-fwd %d, invalidations %d, upgrades %d, L1 evictions %d\n",
+		fmt.Fprintf(stdout, "== %s: %.1f ops/Mcyc ==\n", scheme, res.Throughput)
+		fmt.Fprintf(stdout, "  cache:   %d accesses, L1 hit %.2f%%, L2 miss %d, remote-fwd %d, invalidations %d, upgrades %d, L1 evictions %d\n",
 			accesses, 100*float64(c.L1Hits)/float64(max(accesses, 1)),
 			c.L2Misses, c.RemoteFwds, c.Invalidations, c.Upgrades, c.L1Evictions)
 		if scheme == "ca" {
 			a := res.CA
-			fmt.Printf("  ca:      %d creads (%d failed), %d cwrites (%d failed, %d untagged), %d revocations, max tagset %d\n",
+			fmt.Fprintf(stdout, "  ca:      %d creads (%d failed), %d cwrites (%d failed, %d untagged), %d revocations, max tagset %d\n",
 				a.CReads, a.CReadFails, a.CWrites, a.CWriteFails, a.Untagged, a.Revocations, a.MaxTagSet)
 		} else if scheme != "none" {
 			s := res.SMR
-			fmt.Printf("  smr:     retired %d, freed %d, scans %d, max backlog %d\n",
+			fmt.Fprintf(stdout, "  smr:     retired %d, freed %d, scans %d, max backlog %d\n",
 				s.Retired, s.Freed, s.Scans, s.MaxBacklog)
 		}
-		fmt.Printf("  memory:  live %d nodes, peak %d, heap high-water %d lines\n",
+		fmt.Fprintf(stdout, "  memory:  live %d nodes, peak %d, heap high-water %d lines\n",
 			res.Mem.NodeLive(), res.Mem.PeakLive, res.Mem.NodeAllocs-res.Mem.NodeFrees+res.Mem.InfraLines)
 		l := res.Latency
-		fmt.Printf("  latency: p50 %d, p90 %d, p99 %d, p99.9 %d, max %d cycles (retries %d)\n\n",
+		fmt.Fprintf(stdout, "  latency: p50 %d, p90 %d, p99 %d, p99.9 %d, max %d cycles (retries %d)\n\n",
 			l.P50, l.P90, l.P99, l.P999, l.Max, res.Retries)
 	}
+	return nil
 }
 
 func max(a, b uint64) uint64 {

@@ -34,6 +34,7 @@ import (
 	"condaccess/internal/cache"
 	"condaccess/internal/lab"
 	"condaccess/internal/latency"
+	"condaccess/internal/obs"
 	"condaccess/internal/smr"
 )
 
@@ -49,6 +50,7 @@ type options struct {
 	g         generator
 	fig       string
 	storePath string
+	obs       obs.CLIFlags
 }
 
 // reportedError marks an error the flag package has already printed to
@@ -73,6 +75,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel trial workers (1: sequential)")
 		store   = fs.String("store", "", "content-addressed result store directory (warm cells skip simulation)")
 	)
+	var ob obs.CLIFlags
+	ob.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return options{}, reportedError{err}
 	}
@@ -97,6 +101,7 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		},
 		fig:       *fig,
 		storePath: *store,
+		obs:       ob,
 	}, nil
 }
 
@@ -120,19 +125,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+	if opt.obs.Version {
+		fmt.Fprintln(stdout, obs.VersionLine("figures", bench.EngineTag()))
+		return 0
+	}
+	sess, err := opt.obs.Start(obs.SessionConfig{
+		Tool: "figures", EngineTag: bench.EngineTag(), Args: args,
+		Spec: struct {
+			Fig     string `json:"fig"`
+			Threads []int  `json:"threads"`
+			Ops     int    `json:"ops"`
+			Trials  int    `json:"trials"`
+			MemOps  int    `json:"memOps"`
+			Workers int    `json:"workers"`
+			Seed    uint64 `json:"seed"`
+			Check   bool   `json:"check"`
+		}{opt.fig, opt.g.threads, opt.g.ops, opt.g.trials, opt.g.memOps, opt.g.workers, opt.g.seed, opt.g.check},
+		Stderr: stderr, StoreDir: opt.storePath,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "figures:", err)
+		return 1
+	}
+	err = figures(opt, sess.Rec, stdout, stderr)
+	if cerr := sess.Close(err); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "figures:", err)
+		return 1
+	}
+	return 0
+}
+
+// figures runs the selected figure jobs. Observability (rec may be nil) is
+// out-of-band: stdout is byte-identical with or without it.
+func figures(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 	g := opt.g
+	g.rec = rec
 	var store *lab.Store
 	if opt.storePath != "" {
-		store, err = lab.Open(opt.storePath)
+		st, err := lab.Open(opt.storePath)
 		if err != nil {
-			fmt.Fprintln(stderr, "figures:", err)
-			return 1
+			return err
 		}
+		store = st
+		store.OnFlush = rec.StoreFlushed
 		g.store = store
 	}
 	if err := os.MkdirAll(g.out, 0o755); err != nil {
-		fmt.Fprintln(stderr, "figures:", err)
-		return 1
+		return err
 	}
 
 	jobs := map[string]func() error{
@@ -154,8 +196,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		start := time.Now()
 		fmt.Fprintf(stdout, "### %s\n", name)
 		if err := jobs[name](); err != nil {
-			fmt.Fprintln(stderr, "figures:", err)
-			return 1
+			return err
 		}
 		fmt.Fprintf(stdout, "### %s done in %v\n\n", name, time.Since(start).Round(time.Second))
 	}
@@ -163,12 +204,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Close flushes the store's batched segment writes and persists its
 		// index sidecar; results are not durable before it returns.
 		if err := store.Close(); err != nil {
-			fmt.Fprintln(stderr, "figures:", err)
-			return 1
+			return err
 		}
+		rec.SetStore(store.Stats().Rollup())
 		fmt.Fprintln(stderr, store.Stats())
 	}
-	return 0
+	return nil
 }
 
 type generator struct {
@@ -181,13 +222,23 @@ type generator struct {
 	memOps  int
 	workers int
 	store   bench.TrialStore
+	rec     *obs.Rec // out-of-band instrumentation; nil disables recording
 }
 
-// run executes one standalone trial through the store (the ablations'
-// point-by-point measurements are cacheable cells too).
-func (g generator) run(w bench.Workload) (bench.Result, error) {
-	r := bench.Runner{Store: g.store}
-	return r.Run(w)
+// runAt executes one standalone trial through the store (the ablations'
+// point-by-point measurements are cacheable cells too), attributing its
+// phase spans to manifest point pt.
+func (g generator) runAt(pt int, w bench.Workload) (bench.Result, error) {
+	r := bench.Runner{Store: g.store, Obs: g.rec.Worker(0)}
+	g.rec.PointStart(pt)
+	res, err := r.Run(w)
+	if err != nil {
+		r.Obs.Abandon()
+		return res, err
+	}
+	r.Obs.Commit(pt)
+	g.rec.PointDone(pt)
+	return res, nil
 }
 
 func (g generator) sweepFig(name, ds string, keyRange uint64) error {
@@ -195,7 +246,7 @@ func (g generator) sweepFig(name, ds string, keyRange uint64) error {
 		DS: ds, Schemes: allSchemes, Threads: g.threads,
 		Updates: []int{0, 10, 100}, KeyRange: keyRange,
 		Ops: g.ops, Buckets: 128, Seed: g.seed, Check: g.check, Trials: g.trials,
-		Workers: g.workers, Store: g.store,
+		Workers: g.workers, Store: g.store, Obs: g.rec,
 	}
 	points, err := bench.Sweep(cfg, nil)
 	if err != nil {
@@ -233,7 +284,7 @@ func (g generator) fig3mem() error {
 			FootprintEvery: 1000,
 		}
 	}
-	results, err := bench.RunMany(ws, g.workers, g.store)
+	results, err := bench.RunManyObserved(ws, g.workers, g.store, g.rec)
 	if err != nil {
 		return err
 	}
@@ -260,10 +311,16 @@ func (g generator) assoc() error {
 	defer f.Close()
 	fmt.Fprintln(f, "l1_assoc,ops_per_mcyc,retries,self_evict_revocations,creads")
 	threads := 16
-	for _, assoc := range []int{2, 4, 8, 16} {
+	assocs := []int{2, 4, 8, 16}
+	labels := make([]string, len(assocs))
+	for i, assoc := range assocs {
+		labels[i] = fmt.Sprintf("assoc a=%d", assoc)
+	}
+	base := g.rec.AddPoints(labels, 1)
+	for i, assoc := range assocs {
 		p := cache.DefaultParams(threads)
 		p.L1Assoc = assoc
-		res, err := g.run(bench.Workload{
+		res, err := g.runAt(base+i, bench.Workload{
 			DS: "list", Scheme: "ca",
 			Threads: threads, KeyRange: 1000, UpdatePct: 100,
 			OpsPerThread: g.ops, Seed: g.seed, Check: g.check, Cache: p,
@@ -289,11 +346,19 @@ func (g generator) smt() error {
 	}
 	defer f.Close()
 	fmt.Fprintln(f, "threads_per_core,scheme,ops_per_mcyc,retries")
+	schemes := []string{"ca", "rcu"}
+	var labels []string
 	for _, tpc := range []int{1, 2} {
-		for _, scheme := range []string{"ca", "rcu"} {
+		for _, scheme := range schemes {
+			labels = append(labels, fmt.Sprintf("smt tpc=%d %s", tpc, scheme))
+		}
+	}
+	base, pt := g.rec.AddPoints(labels, 1), 0
+	for _, tpc := range []int{1, 2} {
+		for _, scheme := range schemes {
 			p := cache.DefaultParams(16)
 			p.ThreadsPerCore = tpc
-			res, err := g.run(bench.Workload{
+			res, err := g.runAt(base+pt, bench.Workload{
 				DS: "list", Scheme: scheme,
 				Threads: 16, KeyRange: 1000, UpdatePct: 100,
 				OpsPerThread: g.ops, Seed: g.seed, Check: g.check, Cache: p,
@@ -303,6 +368,7 @@ func (g generator) smt() error {
 			}
 			fmt.Printf("smt=%d %-4s: %9.1f ops/Mcyc, retries %d\n", tpc, scheme, res.Throughput, res.Retries)
 			fmt.Fprintf(f, "%d,%s,%.2f,%d\n", tpc, scheme, res.Throughput, res.Retries)
+			pt++
 		}
 	}
 	return nil
@@ -315,7 +381,7 @@ func (g generator) hmlist() error {
 		DS: "hmlist", Schemes: allSchemes, Threads: g.threads,
 		Updates: []int{0, 100}, KeyRange: 1000,
 		Ops: g.ops, Seed: g.seed, Check: g.check, Trials: g.trials,
-		Workers: g.workers, Store: g.store,
+		Workers: g.workers, Store: g.store, Obs: g.rec,
 	}
 	points, err := bench.Sweep(cfg, nil)
 	if err != nil {
@@ -355,7 +421,12 @@ func (g generator) tail() error {
 		{"rcu_batch30", bench.Workload{Scheme: "rcu", SMR: smr.Options{ReclaimEvery: 30}}},
 		{"rcu_batch400", bench.Workload{Scheme: "rcu", SMR: smr.Options{ReclaimEvery: 400}}},
 	}
-	for _, tc := range configs {
+	labels := make([]string, len(configs))
+	for i, tc := range configs {
+		labels[i] = "tail " + tc.name
+	}
+	base := g.rec.AddPoints(labels, 1)
+	for i, tc := range configs {
 		w := tc.w
 		w.DS = "list"
 		w.Threads = 8
@@ -365,7 +436,7 @@ func (g generator) tail() error {
 		w.Seed = g.seed
 		w.Check = g.check
 		w.RecordTail = true
-		res, err := g.run(w)
+		res, err := g.runAt(base+i, w)
 		if err != nil {
 			return err
 		}
@@ -407,7 +478,18 @@ func (g generator) tuning() error {
 	threads := 16
 	type cfg struct{ reclaim, epoch int }
 	grid := []cfg{{1, 10}, {10, 50}, {30, 150}, {100, 500}, {1000, 5000}}
-	for _, scheme := range []string{"rcu", "ibr", "hp", "ca"} {
+	schemes := []string{"rcu", "ibr", "hp", "ca"}
+	var labels []string
+	for _, scheme := range schemes {
+		for _, tc := range grid {
+			labels = append(labels, fmt.Sprintf("tuning %s r%d/e%d", scheme, tc.reclaim, tc.epoch))
+			if scheme == "ca" {
+				break
+			}
+		}
+	}
+	base, pt := g.rec.AddPoints(labels, 1), 0
+	for _, scheme := range schemes {
 		row := []string{}
 		for _, tc := range grid {
 			w := bench.Workload{
@@ -416,7 +498,7 @@ func (g generator) tuning() error {
 				OpsPerThread: g.ops, Seed: g.seed, Check: g.check,
 				SMR: smr.Options{ReclaimEvery: tc.reclaim, EpochEvery: tc.epoch},
 			}
-			res, err := g.run(w)
+			res, err := g.runAt(base+pt, w)
 			if err != nil {
 				return err
 			}
@@ -424,6 +506,7 @@ func (g generator) tuning() error {
 				scheme, tc.reclaim, tc.epoch, res.Throughput, res.Mem.NodeLive(), res.Mem.PeakLive)
 			row = append(row, fmt.Sprintf("r%d/e%d: %.0f ops/Mcyc peak %d",
 				tc.reclaim, tc.epoch, res.Throughput, res.Mem.PeakLive))
+			pt++
 			if scheme == "ca" {
 				break // CA has no parameters; one point suffices
 			}

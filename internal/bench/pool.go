@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"condaccess/internal/obs"
 )
 
 // poolWorkers clamps a requested worker count to [1, GOMAXPROCS] and to the
@@ -67,7 +69,7 @@ func startPool(n, workers int, abort *atomic.Bool, run func(worker, i int)) (wai
 // are still being measured. On the first failed point (trials checked in
 // trial order, matching the sequential loop's first-error semantics) the pool
 // is aborted and the same wrapped error is returned.
-func sweepParallel(cfg SweepConfig, specs []pointSpec, report func(SweepPoint)) ([]SweepPoint, error) {
+func sweepParallel(cfg SweepConfig, specs []pointSpec, base int, report func(SweepPoint)) ([]SweepPoint, error) {
 	type job struct{ point, trial int }
 	jobs := make([]job, 0, len(specs)*cfg.Trials)
 	for p := range specs {
@@ -91,10 +93,19 @@ func sweepParallel(cfg SweepConfig, specs []pointSpec, report func(SweepPoint)) 
 	runners := make([]Runner, workers) // one reusable machine set per worker
 	for i := range runners {
 		runners[i].Store = cfg.Store // shared store; implementations are concurrency-safe
+		runners[i].Obs = cfg.Obs.Worker(i)
 	}
 	wait := startPool(len(jobs), workers, &abort, func(worker, i int) {
 		j := jobs[i]
 		results[j.point][j.trial], errs[j.point][j.trial] = runners[worker].Run(trialWorkload(cfg, specs[j.point], j.trial))
+		// Trial commits happen here, on the worker, as trials finish (any
+		// order); the sequential point_start/point_done marks below come
+		// from the in-order merge loop only.
+		if errs[j.point][j.trial] != nil {
+			runners[worker].Obs.Abandon()
+		} else {
+			runners[worker].Obs.Commit(base + j.point)
+		}
 		if remaining[j.point].Add(-1) == 0 {
 			close(done[j.point])
 		}
@@ -103,6 +114,7 @@ func sweepParallel(cfg SweepConfig, specs []pointSpec, report func(SweepPoint)) 
 
 	var points []SweepPoint
 	for i, s := range specs {
+		cfg.Obs.PointStart(base + i)
 		<-done[i]
 		for trial := 0; trial < cfg.Trials; trial++ {
 			if err := errs[i][trial]; err != nil {
@@ -112,6 +124,7 @@ func sweepParallel(cfg SweepConfig, specs []pointSpec, report func(SweepPoint)) 
 		}
 		p := mergePoint(s, results[i])
 		points = append(points, p)
+		cfg.Obs.PointDone(base + i)
 		if report != nil {
 			report(p)
 		}
@@ -125,6 +138,22 @@ func sweepParallel(cfg SweepConfig, specs []pointSpec, report func(SweepPoint)) 
 // returns the earliest-indexed error among those that ran. store (may be
 // nil) caches trial results across invocations, like SweepConfig.Store.
 func RunMany(ws []Workload, workers int, store TrialStore) ([]Result, error) {
+	return RunManyObserved(ws, workers, store, nil)
+}
+
+// RunManyObserved is RunMany with out-of-band instrumentation: each
+// workload is declared as one single-trial point on rec (nil for none) and
+// its spans are committed by whichever worker ran it; point_done marks are
+// emitted in input order after the pool drains.
+func RunManyObserved(ws []Workload, workers int, store TrialStore, rec *obs.Rec) ([]Result, error) {
+	base := 0
+	if rec != nil {
+		labels := make([]string, len(ws))
+		for i, w := range ws {
+			labels[i] = pointLabel(w.DS, pointSpec{Scheme: w.Scheme, Threads: w.Threads, UpdatePct: w.UpdatePct})
+		}
+		base = rec.AddPoints(labels, 1)
+	}
 	results := make([]Result, len(ws))
 	errs := make([]error, len(ws))
 	var abort atomic.Bool
@@ -132,17 +161,22 @@ func RunMany(ws []Workload, workers int, store TrialStore) ([]Result, error) {
 	runners := make([]Runner, nw)
 	for i := range runners {
 		runners[i].Store = store
+		runners[i].Obs = rec.Worker(i)
 	}
 	startPool(len(ws), nw, &abort, func(worker, i int) {
 		results[i], errs[i] = runners[worker].Run(ws[i])
 		if errs[i] != nil {
+			runners[worker].Obs.Abandon()
 			abort.Store(true)
+		} else {
+			runners[worker].Obs.Commit(base + i)
 		}
 	})()
-	for _, err := range errs {
+	for i, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+		rec.PointDone(base + i)
 	}
 	return results, nil
 }

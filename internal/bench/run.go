@@ -6,6 +6,7 @@ import (
 
 	"condaccess/internal/cache"
 	"condaccess/internal/latency"
+	"condaccess/internal/obs"
 	"condaccess/internal/scenario"
 	"condaccess/internal/sim"
 )
@@ -26,6 +27,16 @@ type Runner struct {
 	// cached complete result and skips simulation entirely. Sweeps propagate
 	// SweepConfig.Store here on every execution path.
 	Store TrialStore
+
+	// Obs, when non-nil, receives this Runner's per-trial phase spans
+	// (prepare, store lookup, simulate, store write) and warm-hit marks.
+	// Recording is strictly out-of-band — it never changes a result, a
+	// store key, or an error — and a nil recorder costs nothing: every
+	// method is a nil-receiver no-op. The Runner records spans only; the
+	// owner of the trial loop calls Obs.Commit (or Obs.Abandon on error)
+	// after each Run/RunScenario, naming the sweep point the trial
+	// belongs to.
+	Obs *obs.WorkerRec
 }
 
 // Run executes one trial: build, prefill to 50%, reset clocks, run the
@@ -39,6 +50,7 @@ type Runner struct {
 // program reproduces the historical engine's exact draw and charge sequence,
 // which testdata/golden.json pins.
 func (r *Runner) Run(w Workload) (Result, error) {
+	t0 := r.Obs.Start(obs.PhasePrepare)
 	if err := validate(&w); err != nil {
 		return Result{}, err
 	}
@@ -46,30 +58,38 @@ func (r *Runner) Run(w Workload) (Result, error) {
 	// derived content key on ps across the lookup and the write-through,
 	// so a miss never marshals or hashes the spec a second time.
 	ks, ps := r.keyedStore(func() ([]byte, error) { return TrialSpecBytes(w) })
+	r.Obs.End(obs.PhasePrepare, t0)
 	if r.Store != nil {
 		var res Result
 		var ok bool
+		t0 = r.Obs.Start(obs.PhaseLookup)
 		if ks != nil {
 			res, ok = ks.LookupTrialSpec(ps)
 		} else {
 			res, ok = r.Store.LookupTrial(w)
 		}
+		r.Obs.End(obs.PhaseLookup, t0)
 		if ok && !staleTail(w.RecordLatency || w.RecordTail, res.Tail) {
+			r.Obs.Warm()
 			return res, nil
 		}
 	}
+	t0 = r.Obs.Start(obs.PhaseSimulate)
 	sres, err := r.runScenario(lowerWorkload(w))
+	r.Obs.End(obs.PhaseSimulate, t0)
 	if err != nil {
 		return Result{}, err
 	}
 	res := sres.Result
 	res.W = w
 	if r.Store != nil {
+		t0 = r.Obs.Start(obs.PhaseStore)
 		if ks != nil {
 			err = ks.StoreTrialSpec(ps, res)
 		} else {
 			err = r.Store.StoreTrial(w, res)
 		}
+		r.Obs.End(obs.PhaseStore, t0)
 		if err != nil {
 			return Result{}, fmt.Errorf("bench: storing trial result: %w", err)
 		}

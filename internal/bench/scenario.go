@@ -5,6 +5,7 @@ import (
 
 	"condaccess/internal/cache"
 	"condaccess/internal/latency"
+	"condaccess/internal/obs"
 	"condaccess/internal/scenario"
 	"condaccess/internal/sim"
 	"condaccess/internal/smr"
@@ -285,29 +286,40 @@ func compileProfile(p scenario.Profile) (workFn, error) {
 func (r *Runner) RunScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 	// As in Run: canonicalize the spec once and let a keyed store carry
 	// the derived content key from the lookup into the write-through.
+	// Phase spans are recorded at this level only (runScenario is also
+	// Run's engine, which would double-count the simulate span).
+	t0 := r.Obs.Start(obs.PhasePrepare)
 	ks, ps := r.keyedStore(func() ([]byte, error) { return ScenarioSpecBytes(sw) })
+	r.Obs.End(obs.PhasePrepare, t0)
 	if r.Store != nil {
 		var sres ScenarioResult
 		var ok bool
+		t0 = r.Obs.Start(obs.PhaseLookup)
 		if ks != nil {
 			sres, ok = ks.LookupScenarioSpec(ps)
 		} else {
 			sres, ok = r.Store.LookupScenario(sw)
 		}
+		r.Obs.End(obs.PhaseLookup, t0)
 		if ok && !staleTail(sw.RecordLatency || sw.RecordTail, sres.Tail) {
+			r.Obs.Warm()
 			return sres, nil
 		}
 	}
+	t0 = r.Obs.Start(obs.PhaseSimulate)
 	sres, err := r.runScenario(sw)
+	r.Obs.End(obs.PhaseSimulate, t0)
 	if err != nil {
 		return ScenarioResult{}, err
 	}
 	if r.Store != nil {
+		t0 = r.Obs.Start(obs.PhaseStore)
 		if ks != nil {
 			err = ks.StoreScenarioSpec(ps, sres)
 		} else {
 			err = r.Store.StoreScenario(sw, sres)
 		}
+		r.Obs.End(obs.PhaseStore, t0)
 		if err != nil {
 			return ScenarioResult{}, fmt.Errorf("bench: storing scenario result: %w", err)
 		}

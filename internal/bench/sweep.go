@@ -8,6 +8,7 @@ import (
 
 	"condaccess/internal/cache"
 	"condaccess/internal/latency"
+	"condaccess/internal/obs"
 )
 
 // SweepConfig describes a cross-product experiment: one data structure, a
@@ -46,8 +47,18 @@ type SweepConfig struct {
 	// Store, when non-nil, caches complete trial results by content-addressed
 	// spec (read-through/write-through, on both execution paths): re-running
 	// a sweep against a warm store executes zero simulator trials and
-	// reproduces the cold run's output byte for byte.
-	Store TrialStore
+	// reproduces the cold run's output byte for byte. Excluded from JSON:
+	// the handle is runtime wiring, not part of the sweep's specification
+	// (manifests record the spec).
+	Store TrialStore `json:"-"`
+
+	// Obs, when non-nil, receives the sweep's out-of-band instrumentation:
+	// one declared point per cross-product cell, per-trial phase spans
+	// committed by whichever worker ran the trial, and point start/done
+	// marks emitted from the in-order reporting loop (so point events stay
+	// sequential even under the pool). Observation changes no point, no
+	// report, and no error.
+	Obs *obs.Rec `json:"-"`
 }
 
 // SweepPoint is one measured point of a sweep.
@@ -141,6 +152,25 @@ func mergePoint(s pointSpec, trials []Result) SweepPoint {
 	}
 }
 
+// pointLabel renders a point's manifest/event label from its coordinates,
+// matching pointError's spelling of the same cell.
+func pointLabel(ds string, s pointSpec) string {
+	return fmt.Sprintf("%s/%s t=%d u=%d", ds, s.Scheme, s.Threads, s.UpdatePct)
+}
+
+// declarePoints registers the sweep's cross product with the run recorder,
+// returning the base point index (0 when unobserved).
+func declarePoints(cfg SweepConfig, specs []pointSpec) int {
+	if cfg.Obs == nil {
+		return 0
+	}
+	labels := make([]string, len(specs))
+	for i, s := range specs {
+		labels[i] = pointLabel(cfg.DS, s)
+	}
+	return cfg.Obs.AddPoints(labels, cfg.Trials)
+}
+
 // pointError wraps a trial failure with its sweep coordinates.
 func pointError(cfg SweepConfig, s pointSpec, err error) error {
 	return fmt.Errorf("sweep %s/%s t=%d u=%d: %w", cfg.DS, s.Scheme, s.Threads, s.UpdatePct, err)
@@ -183,22 +213,28 @@ func Sweep(cfg SweepConfig, report func(SweepPoint)) ([]SweepPoint, error) {
 		return nil, err
 	}
 	specs := expand(cfg)
+	base := declarePoints(cfg, specs)
 	if cfg.Workers > 1 {
-		return sweepParallel(cfg, specs, report)
+		return sweepParallel(cfg, specs, base, report)
 	}
 	var points []SweepPoint
-	runner := Runner{Store: cfg.Store} // reuses one machine per geometry across the sweep
-	for _, s := range specs {
+	// reuses one machine per geometry across the sweep
+	runner := Runner{Store: cfg.Store, Obs: cfg.Obs.Worker(0)}
+	for si, s := range specs {
+		cfg.Obs.PointStart(base + si)
 		trials := make([]Result, cfg.Trials)
 		for trial := range trials {
 			res, err := runner.Run(trialWorkload(cfg, s, trial))
 			if err != nil {
+				runner.Obs.Abandon()
 				return nil, pointError(cfg, s, err)
 			}
+			runner.Obs.Commit(base + si)
 			trials[trial] = res
 		}
 		p := mergePoint(s, trials)
 		points = append(points, p)
+		cfg.Obs.PointDone(base + si)
 		if report != nil {
 			report(p)
 		}

@@ -39,6 +39,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Record frame: [4-byte big-endian n][4-byte CRC32-C of key+payload]
@@ -219,16 +220,30 @@ func (w *segmentWriter) flushLocked() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
+	// Flush timing is recorded at this granularity — once per batch, never
+	// per put — with the fsync share broken out: fsync latency is where a
+	// slow disk shows up first.
+	t0 := time.Now()
 	if _, err := w.f.WriteAt(w.buf, w.size); err != nil {
 		return fmt.Errorf("lab: appending segment %s: %w", segmentName(w.seg), err)
 	}
+	tSync := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("lab: syncing segment %s: %w", segmentName(w.seg), err)
 	}
+	st := w.st
+	st.fsyncNanos.Add(int64(time.Since(tSync)))
+	st.flushNanos.Add(int64(time.Since(t0)))
+	st.flushes.Add(1)
+	st.bytesWritten.Add(uint64(len(w.buf)))
+	records, bytes := len(w.recs), len(w.buf)
 	w.size += int64(len(w.buf))
 	w.buf = w.buf[:0]
-	w.st.publish(w.recs, w.seg, w.size)
+	st.publish(w.recs, w.seg, w.size)
 	w.recs = w.recs[:0]
+	if st.OnFlush != nil {
+		st.OnFlush(records, bytes)
+	}
 	return nil
 }
 

@@ -34,6 +34,13 @@ func TestStoreStatsString(t *testing.T) {
 		{StoreStats{Hits: 8}, "store: 8 hits, 0 misses (100% warm)"},
 		{StoreStats{Misses: 8}, "store: 0 hits, 8 misses (0% warm)"},
 		{StoreStats{Hits: 3, Misses: 1}, "store: 3 hits, 1 misses (75% warm)"},
+		// The flush suffix appears only when flush traffic happened, so warm
+		// runs (and their CI greps) keep the bare line.
+		{StoreStats{Hits: 1, Misses: 7, Flushes: 2, BytesWritten: 4096},
+			"store: 1 hits, 7 misses (12% warm), 2 flushes (4.0 KiB written)"},
+		{StoreStats{Misses: 3, BytesWritten: 100}, "store: 0 hits, 3 misses (0% warm), 0 flushes (100 B written)"},
+		{StoreStats{Misses: 2, Flushes: 1, BytesWritten: 3 << 20},
+			"store: 0 hits, 2 misses (0% warm), 1 flushes (3.0 MiB written)"},
 	}
 	for _, tc := range cases {
 		if got := tc.s.String(); got != tc.want {
@@ -484,5 +491,52 @@ func TestLazySpecEntriesDoNotDecodeResults(t *testing.T) {
 	// A scenario-shaped raw result must partial-decode the same way.
 	if fmt.Sprintf("%.2f", e.Throughput()) != fmt.Sprintf("%.2f", res.Throughput) {
 		t.Fatal("throughput unstable across repeated lazy decodes")
+	}
+}
+
+// TestFlushCountersAccumulate pins the cumulative flush statistics the
+// store summary line and the run manifests surface: every durable segment
+// flush bumps Flushes and BytesWritten, the OnFlush hook sees the same
+// totals, and the timing counters are live.
+func TestFlushCountersAccumulate(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hookFlushes, hookRecords, hookBytes int
+	st.OnFlush = func(records, bytes int) {
+		hookFlushes++
+		hookRecords += records
+		hookBytes += bytes
+	}
+	const trials = 5
+	r := bench.Runner{Store: st}
+	for seed := uint64(1); seed <= trials; seed++ {
+		if _, err := r.Run(trialW(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	if s.Flushes == 0 || s.BytesWritten == 0 {
+		t.Fatalf("flush counters empty after %d puts: %+v", trials, s)
+	}
+	if int(s.Flushes) != hookFlushes {
+		t.Errorf("Flushes = %d, hook saw %d", s.Flushes, hookFlushes)
+	}
+	if hookRecords != trials {
+		t.Errorf("hook records = %d, want %d (every put published once)", hookRecords, trials)
+	}
+	if s.BytesWritten != uint64(hookBytes) {
+		t.Errorf("BytesWritten = %d, hook saw %d", s.BytesWritten, hookBytes)
+	}
+	if s.FlushNanos <= 0 || s.FsyncNanos <= 0 {
+		t.Errorf("flush/fsync timings = %d/%d, want > 0", s.FlushNanos, s.FsyncNanos)
+	}
+	roll := s.Rollup()
+	if roll.Flushes != s.Flushes || roll.BytesWritten != s.BytesWritten || roll.FsyncNanos != s.FsyncNanos {
+		t.Errorf("Rollup diverges from Stats: %+v vs %+v", roll, s)
 	}
 }

@@ -14,8 +14,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"condaccess/internal/bench"
+	"condaccess/internal/obs"
 )
 
 // Entry kinds, also the on-disk envelope discriminator.
@@ -59,6 +61,22 @@ type Store struct {
 	misses atomic.Uint64
 	puts   atomic.Uint64
 	opens  atomic.Uint64 // file opens; warm packed sweeps keep this O(segments)
+
+	// Write-back durability counters (segment.go): batched flushes, bytes
+	// made durable (segment flushes and loose entry writes), and the time
+	// spent inside flushes (fsync included) and loading the index at Open.
+	flushes        atomic.Uint64
+	bytesWritten   atomic.Uint64
+	flushNanos     atomic.Int64
+	fsyncNanos     atomic.Int64
+	indexLoadNanos atomic.Int64
+
+	// OnFlush, when non-nil, is called after each durable segment flush
+	// with the number of records published and bytes written. It is
+	// observational (obs event stream); set it before the store sees
+	// traffic and never from a callback. Called with no store locks held
+	// beyond the flushing stripe's.
+	OnFlush func(records, bytes int)
 }
 
 // Store implements the harness's read-through/write-through contract,
@@ -104,10 +122,12 @@ func openTagged(dir, tag string, loose bool) (*Store, error) {
 	for i := 0; i < writeStripes; i++ {
 		s.writers = append(s.writers, &segmentWriter{st: s})
 	}
+	t0 := time.Now()
 	s.loadSidecar()
 	if err := s.refresh(); err != nil {
 		return nil, err
 	}
+	s.indexLoadNanos.Add(int64(time.Since(t0)))
 	return s, nil
 }
 
@@ -130,32 +150,77 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) Tag() string { return s.tag }
 
 // StoreStats counts this handle's store traffic. After a fully warm sweep,
-// Misses and Puts are zero: every trial came from the store and none was
-// simulated. Opens counts file opens — a warm packed sweep holds it at
-// O(segments) however many trials it serves.
+// Misses, Puts, Flushes, and BytesWritten are zero: every trial came from
+// the store and none was simulated or written back. Opens counts file opens
+// — a warm packed sweep holds it at O(segments) however many trials it
+// serves. The nanosecond fields time the durability work itself: flushes
+// (FsyncNanos is the fsync share of FlushNanos) and the one-time index load
+// at Open.
 type StoreStats struct {
 	Hits   uint64
 	Misses uint64
 	Puts   uint64
 	Opens  uint64
+
+	Flushes      uint64 // durable write-back batches (one fsync each)
+	BytesWritten uint64 // bytes made durable (segment flushes + loose writes)
+
+	FlushNanos     int64
+	FsyncNanos     int64
+	IndexLoadNanos int64
 }
 
 // Stats returns the traffic counters accumulated on this handle.
 func (s *Store) Stats() StoreStats {
-	return StoreStats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load(), Opens: s.opens.Load()}
+	return StoreStats{
+		Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load(), Opens: s.opens.Load(),
+		Flushes: s.flushes.Load(), BytesWritten: s.bytesWritten.Load(),
+		FlushNanos: s.flushNanos.Load(), FsyncNanos: s.fsyncNanos.Load(),
+		IndexLoadNanos: s.indexLoadNanos.Load(),
+	}
+}
+
+// Rollup converts the counters to the manifest's store section.
+func (s StoreStats) Rollup() obs.StoreRollup {
+	return obs.StoreRollup{
+		Hits: s.Hits, Misses: s.Misses, Puts: s.Puts, Opens: s.Opens,
+		Flushes: s.Flushes, BytesWritten: s.BytesWritten,
+		FlushNanos: s.FlushNanos, FsyncNanos: s.FsyncNanos,
+		IndexLoadNanos: s.IndexLoadNanos,
+	}
 }
 
 // String renders the traffic line every -store command reports on stderr;
 // "(100% warm)" is the re-run-executed-zero-trials signal CI greps for. A
 // handle that served no lookups at all says so explicitly — "0% warm"
-// would read as a fully cold run to the same greps.
+// would read as a fully cold run to the same greps. When the handle wrote
+// anything back durably, the line gains the flush traffic; a fully warm run
+// writes nothing and keeps the historical line byte for byte.
 func (s StoreStats) String() string {
 	total := s.Hits + s.Misses
 	if total == 0 {
 		return "store: no traffic"
 	}
 	pct := 100 * float64(s.Hits) / float64(total)
-	return fmt.Sprintf("store: %d hits, %d misses (%.0f%% warm)", s.Hits, s.Misses, pct)
+	line := fmt.Sprintf("store: %d hits, %d misses (%.0f%% warm)", s.Hits, s.Misses, pct)
+	if s.Flushes > 0 || s.BytesWritten > 0 {
+		line += fmt.Sprintf(", %d flushes (%s written)", s.Flushes, formatBytes(s.BytesWritten))
+	}
+	return line
+}
+
+// formatBytes renders a byte count with a binary unit, one decimal place
+// past KiB.
+func formatBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 // envelope is the entry payload format, shared by both layouts (a packed
@@ -306,6 +371,7 @@ func (s *Store) putLoose(key string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("lab: writing entry: %w", err)
 	}
+	s.bytesWritten.Add(uint64(len(data) + 1))
 	return nil
 }
 

@@ -1,0 +1,121 @@
+// CLI plumbing shared by every command: one flag block (-version,
+// -progress, -manifest, -events, plus the Profiler's flags) and one Session
+// wrapper that turns the parsed flags into a running recorder and tears
+// everything down — manifest write included — in one Close call. Keeping
+// this here means each command adds observability with three calls:
+// Register, Start, Close.
+package obs
+
+import (
+	"flag"
+	"io"
+	"os"
+)
+
+// CLIFlags is the observability flag block.
+type CLIFlags struct {
+	Version  bool
+	Progress bool
+	Manifest string
+	Events   string
+	Prof     Profiler
+}
+
+// Register installs the full observability flag set (version, progress,
+// manifest, events, profiling) on fs.
+func (c *CLIFlags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Version, "version", false, "print tool, module version, and engine tag, then exit")
+	fs.BoolVar(&c.Progress, "progress", false, "render live run progress (trials done, rate, ETA, warm %) on stderr")
+	fs.StringVar(&c.Manifest, "manifest", "", "write the run manifest JSON to this path (default with -store: <store>/runs/<runid>.json)")
+	fs.StringVar(&c.Events, "events", "", "append JSONL run events (run/point/trials/store_flush) to this file")
+	c.Prof.Register(fs)
+}
+
+// SessionConfig describes one CLI run to Start.
+type SessionConfig struct {
+	Tool      string
+	EngineTag string
+	Args      []string  // raw argument vector, recorded in the manifest
+	Spec      any       // the run's full configuration, recorded in the manifest
+	Stderr    io.Writer // progress target when -progress is set
+	StoreDir  string    // store root, "" if none; enables the default manifest location
+}
+
+// Session is one CLI run's live observability: profiling started, recorder
+// (possibly nil — recording only happens when some output wants it) wired.
+type Session struct {
+	// Rec is the run recorder, or nil when no manifest, progress, or event
+	// output is configured. All Rec methods are nil-safe, so callers pass
+	// it along unconditionally.
+	Rec *Rec
+
+	prof       *Profiler
+	eventsFile *os.File
+}
+
+// Start begins profiling and, when any observability output is requested —
+// -progress, -manifest, -events, or a store directory to default the
+// manifest into — creates the run recorder. The returned Session is always
+// usable (Close it exactly once, with the run's error).
+func (c *CLIFlags) Start(sc SessionConfig) (*Session, error) {
+	if err := c.Prof.Start(); err != nil {
+		return nil, err
+	}
+	s := &Session{prof: &c.Prof}
+	manifestDir := ""
+	if c.Manifest == "" && sc.StoreDir != "" {
+		manifestDir = RunsDir(sc.StoreDir)
+	}
+	if !c.Progress && c.Manifest == "" && c.Events == "" && manifestDir == "" {
+		return s, nil
+	}
+	cfg := Config{
+		Tool:         sc.Tool,
+		Args:         sc.Args,
+		EngineTag:    sc.EngineTag,
+		Spec:         sc.Spec,
+		ManifestPath: c.Manifest,
+		ManifestDir:  manifestDir,
+	}
+	if c.Progress {
+		cfg.Progress = sc.Stderr
+	}
+	if c.Events != "" {
+		f, err := os.OpenFile(c.Events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			c.Prof.Stop()
+			return nil, err
+		}
+		s.eventsFile = f
+		cfg.Events = f
+	}
+	s.Rec = New(cfg)
+	return s, nil
+}
+
+// Close finalizes the session: the recorder writes its manifest (stamped
+// with runErr when the run failed), the event log is closed, and profiles
+// are flushed. It returns the first teardown error; callers report it only
+// when the run itself succeeded.
+func (s *Session) Close(runErr error) error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	if err := s.Rec.Close(runErr); err != nil {
+		first = err
+	}
+	if s.eventsFile != nil {
+		if err := s.eventsFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.eventsFile = nil
+	}
+	if s.prof != nil {
+		if err := s.prof.Stop(); err != nil && first == nil {
+			first = err
+		}
+		s.prof = nil
+	}
+	return first
+}

@@ -1,0 +1,123 @@
+// Live progress on stderr: completed/total trials, trial rate, ETA,
+// warm-hit percentage, and each worker's current phase. On a terminal the
+// display is a single line redrawn in place (carriage return + erase); on a
+// pipe or file it degrades to plain, rate-limited lines. Rendering is
+// rate-limited on both paths and only ever happens when a progress writer is
+// configured, so the per-trial recording path stays allocation-free when
+// progress is off.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// Render rates: a terminal is repainted often enough to feel live; a log
+// file gets a line a second at most.
+const (
+	liveEvery  = 100 * time.Millisecond
+	plainEvery = time.Second
+)
+
+// maxWorkerStates caps the per-worker phase display width.
+const maxWorkerStates = 16
+
+// progressState tracks the render target and rate limiter.
+type progressState struct {
+	w    io.Writer
+	live bool // terminal: redraw one line in place
+
+	last     time.Time
+	rendered bool // a live line is on screen and needs a final newline
+}
+
+func (p *progressState) init(w io.Writer) {
+	p.w = w
+	p.live = isTerminal(w)
+}
+
+// isTerminal reports whether w is an interactive terminal.
+func isTerminal(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return st.Mode()&os.ModeCharDevice != 0
+}
+
+// maybeProgressLocked renders the progress display if one is configured and
+// the rate limiter allows (final renders force through). Caller holds r.mu.
+func (r *Rec) maybeProgressLocked(final bool) {
+	p := &r.prog
+	if p.w == nil {
+		return
+	}
+	now := r.now()
+	every := plainEvery
+	if p.live {
+		every = liveEvery
+	}
+	if !final && !p.last.IsZero() && now.Sub(p.last) < every {
+		return
+	}
+	p.last = now
+	line := r.progressLineLocked(now)
+	switch {
+	case p.live && final:
+		fmt.Fprintf(p.w, "\r%s\x1b[K\n", line)
+		p.rendered = false
+	case p.live:
+		fmt.Fprintf(p.w, "\r%s\x1b[K", line)
+		p.rendered = true
+	default:
+		fmt.Fprintf(p.w, "%s\n", line)
+	}
+}
+
+// progressLineLocked renders one display line. Caller holds r.mu.
+func (r *Rec) progressLineLocked(now time.Time) string {
+	var b strings.Builder
+	elapsed := now.Sub(r.start).Seconds()
+	fmt.Fprintf(&b, "progress: %d/%d trials", r.done, r.planned)
+	if r.done > 0 && elapsed > 0 {
+		rate := float64(r.done) / elapsed
+		fmt.Fprintf(&b, ", %.0f trials/s", rate)
+		if left := r.planned - r.done; left > 0 && rate > 0 {
+			eta := time.Duration(float64(left) / rate * float64(time.Second)).Round(time.Second)
+			fmt.Fprintf(&b, ", eta %s", eta)
+		}
+	}
+	if r.done > 0 {
+		fmt.Fprintf(&b, ", warm %.0f%%", 100*float64(r.warm)/float64(r.done))
+	}
+	if n := len(r.workers); n > 1 {
+		b.WriteString(", workers [")
+		for i, w := range r.workers {
+			if i == maxWorkerStates {
+				fmt.Fprintf(&b, " +%d", n-maxWorkerStates)
+				break
+			}
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(workerStateName(w.state.Load()))
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// workerStateName renders a worker's current phase for the display.
+func workerStateName(s int32) string {
+	if s == workerIdle || s < 0 || s >= int32(NumPhases) {
+		return "idle"
+	}
+	return phaseNames[s][1]
+}
