@@ -28,6 +28,7 @@ import (
 	"condaccess/internal/bench"
 	"condaccess/internal/lab"
 	"condaccess/internal/obs"
+	"condaccess/internal/trace"
 )
 
 // options is the parsed command line.
@@ -37,6 +38,8 @@ type options struct {
 	storePath string
 	verbose   bool
 	tail      bool
+	timeline  bool
+	tracePath string
 	obs       obs.CLIFlags
 }
 
@@ -70,6 +73,9 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		dist    = fs.String("dist", "uniform", "key distribution: uniform or zipf")
 		lat     = fs.Bool("lat", false, "also print per-point latency percentiles")
 		tail    = fs.Bool("tail", false, "print the tail-latency table: per-point percentiles over all trials merged")
+		tline   = fs.Bool("timeline", false, "record and print windowed sim-time metric timelines per point")
+		tlWin   = fs.Uint64("timeline-window", 0, "timeline window size in simulated cycles (0: default)")
+		trPath  = fs.String("trace", "", "write a Chrome trace_event JSON file of every simulated trial (forces -workers 1)")
 	)
 	var ob obs.CLIFlags
 	ob.Register(fs)
@@ -93,6 +99,12 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	if err != nil {
 		return options{}, fmt.Errorf("-updates: %w", err)
 	}
+	wk := *workers
+	if *trPath != "" {
+		// Deterministic trace files need the sequential path: one sink
+		// recording trials in sweep order.
+		wk = 1
+	}
 	return options{
 		cfg: bench.SweepConfig{
 			DS:       *ds,
@@ -100,13 +112,16 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 			Threads:  threadList,
 			Updates:  updateList,
 			KeyRange: kr, Ops: *ops, Buckets: *buckets,
-			Seed: *seed, Check: *check, Trials: *trials, Workers: *workers,
+			Seed: *seed, Check: *check, Trials: *trials, Workers: wk,
 			Dist: *dist, RecordLatency: *lat, RecordTail: *tail,
+			RecordTimeline: *tline, TimelineWindow: *tlWin,
 		},
 		csvPath:   *csvPath,
 		storePath: *store,
 		verbose:   *verbose,
 		tail:      *tail,
+		timeline:  *tline,
+		tracePath: *trPath,
 		obs:       ob,
 	}, nil
 }
@@ -137,6 +152,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sess, err := opt.obs.Start(obs.SessionConfig{
 		Tool: "cabench", EngineTag: bench.EngineTag(), Args: args,
 		Spec: opt.cfg, Stderr: stderr, StoreDir: opt.storePath,
+		TraceOut: opt.tracePath, Timeline: opt.timeline,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "cabench:", err)
@@ -171,6 +187,11 @@ func sweep(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 		store.OnFlush = rec.StoreFlushed
 		cfg.Store = st
 	}
+	var sink *trace.Sink
+	if opt.tracePath != "" {
+		sink = &trace.Sink{}
+		cfg.Trace = sink
+	}
 	lat := cfg.RecordLatency
 	var progress func(bench.SweepPoint)
 	if opt.verbose || lat {
@@ -191,6 +212,12 @@ func sweep(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if sink != nil {
+		if err := sink.WriteFile(opt.tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "trace: %d events -> %s\n", sink.Len(), opt.tracePath)
+	}
 	if store != nil {
 		// Close flushes the store's batched segment writes and persists its
 		// index sidecar; results are not durable before it returns.
@@ -208,6 +235,9 @@ func sweep(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 	}
 	if opt.tail {
 		printTail(stdout, points)
+	}
+	if opt.timeline {
+		printTimelines(stdout, points)
 	}
 	if opt.csvPath != "" {
 		f, err := os.Create(opt.csvPath)
@@ -235,6 +265,20 @@ func printTail(w io.Writer, points []bench.SweepPoint) {
 			p.Scheme, p.Threads, p.UpdatePct, s.Samples, s.P50, s.P99, s.P999, s.Max, s.Mean)
 	}
 	fmt.Fprintln(w)
+}
+
+// printTimelines renders each point's windowed sim-time metrics series,
+// all trials merged window by window (trials share the measured cycle axis).
+func printTimelines(w io.Writer, points []bench.SweepPoint) {
+	fmt.Fprintln(w, "== sim-time timelines [per window], all trials merged ==")
+	for _, p := range points {
+		if p.Timeline == nil {
+			continue
+		}
+		fmt.Fprintf(w, "-- %s t=%d u=%d%% --\n", p.Scheme, p.Threads, p.UpdatePct)
+		p.Timeline.WriteTable(w)
+		fmt.Fprintln(w)
+	}
 }
 
 func splitList(s string) []string {

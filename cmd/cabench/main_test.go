@@ -137,6 +137,36 @@ func TestParseArgsTailFlag(t *testing.T) {
 	}
 }
 
+func TestParseArgsTimelineAndTraceFlags(t *testing.T) {
+	opt, err := parseArgs([]string{"-ds", "list", "-timeline", "-timeline-window", "4096"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.timeline || !opt.cfg.RecordTimeline || opt.cfg.TimelineWindow != 4096 {
+		t.Error("-timeline must enable timeline recording with the given window")
+	}
+	if opt.tracePath != "" || opt.cfg.RecordTail {
+		t.Error("-timeline must not drag in tracing or tail recording")
+	}
+
+	// -trace forces the sequential path: one sink, trials in sweep order.
+	opt, err = parseArgs([]string{"-ds", "list", "-workers", "8", "-trace", "t.json"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.tracePath != "t.json" || opt.cfg.Workers != 1 {
+		t.Errorf("-trace: path %q workers %d, want t.json and forced workers 1", opt.tracePath, opt.cfg.Workers)
+	}
+
+	opt, err = parseArgs([]string{"-ds", "list"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.timeline || opt.cfg.RecordTimeline || opt.tracePath != "" {
+		t.Error("tracing and timelines must be off by default")
+	}
+}
+
 // TestRunFailureModes pins the CLI error contract: every failure exits
 // non-zero after exactly one line on stderr — no panic, no usage dump.
 func TestRunFailureModes(t *testing.T) {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -69,6 +71,58 @@ func fakeRun(t *testing.T, storeDir, tool string, warm bool, simulate time.Durat
 		t.Fatal(err)
 	}
 	return r.RunID()
+}
+
+// TestRunsListDeterministicOrder pins the listing order against a fixture
+// directory of hand-written manifests: rows sort by start time, with a
+// start-time tie broken by run id — never by the directory's filename
+// enumeration, which here is arranged to disagree with both.
+func TestRunsListDeterministicOrder(t *testing.T) {
+	store := t.TempDir()
+	dir := obs.RunsDir(store)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	mk := func(id string, start time.Time) {
+		m := obs.Manifest{RunID: id, Tool: "cabench", Start: start}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(obs.ManifestPath(dir, id), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Filename order (a-first, z-last) is the reverse of start order, and
+	// the two tied runs' ids break their tie.
+	mk("a-newest", base.Add(2*time.Hour))
+	mk("m-tie-2", base.Add(time.Hour))
+	mk("k-tie-1", base.Add(time.Hour))
+	mk("z-oldest", base)
+
+	render := func() string {
+		var out strings.Builder
+		if err := run(options{cmd: "runs", store: store}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	got := render()
+	var ids []string
+	for i, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		if i == 0 {
+			continue // header
+		}
+		ids = append(ids, strings.Fields(line)[0])
+	}
+	want := []string{"z-oldest", "k-tie-1", "m-tie-2", "a-newest"}
+	if strings.Join(ids, " ") != strings.Join(want, " ") {
+		t.Fatalf("listing order = %v, want %v:\n%s", ids, want, got)
+	}
+	if again := render(); again != got {
+		t.Error("two listings of the same fixture dir differ")
+	}
 }
 
 func TestRunsEndToEnd(t *testing.T) {

@@ -26,6 +26,7 @@ import (
 	"condaccess/internal/lab"
 	"condaccess/internal/obs"
 	"condaccess/internal/scenario"
+	"condaccess/internal/trace"
 )
 
 // options is the parsed command line.
@@ -35,6 +36,8 @@ type options struct {
 	storePath string
 	lat       bool
 	tail      bool
+	timeline  bool
+	tracePath string
 	list      bool
 	obs       obs.CLIFlags
 }
@@ -66,6 +69,9 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		dist    = fs.String("dist", "uniform", "default key distribution for phases that name none")
 		lat     = fs.Bool("lat", false, "also print per-phase latency percentiles")
 		tail    = fs.Bool("tail", false, "print per-phase tail-latency tables: per-kind and per-attribution percentiles")
+		tline   = fs.Bool("timeline", false, "record and print windowed sim-time metric timelines per phase")
+		tlWin   = fs.Uint64("timeline-window", 0, "timeline window size in simulated cycles (0: default)")
+		trPath  = fs.String("trace", "", "write a Chrome trace_event JSON file of every simulated trial")
 		store   = fs.String("store", "", "content-addressed result store directory (warm trials skip simulation)")
 	)
 	var ob obs.CLIFlags
@@ -119,12 +125,15 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 			KeyRange: kr, Buckets: *buckets,
 			Seed: *seed, Check: *check, Dist: *dist,
 			RecordLatency: *lat, RecordTail: *tail,
+			RecordTimeline: *tline, TimelineWindow: *tlWin,
 			Scenario: sc,
 		},
 		schemes:   schemeList,
 		storePath: *store,
 		lat:       *lat,
 		tail:      *tail,
+		timeline:  *tline,
+		tracePath: *trPath,
 		obs:       ob,
 	}, nil
 }
@@ -163,6 +172,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Scenario bench.ScenarioWorkload
 		}{opt.schemes, opt.sw},
 		Stderr: stderr, StoreDir: opt.storePath,
+		TraceOut: opt.tracePath, Timeline: opt.timeline,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "cascenario:", err)
@@ -194,6 +204,11 @@ func runScenarios(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 		runner.Store = st
 	}
 	runner.Obs = rec.Worker(0)
+	var sink *trace.Sink
+	if opt.tracePath != "" {
+		sink = &trace.Sink{}
+		runner.Trace = sink
+	}
 	base := 0
 	if rec != nil {
 		labels := make([]string, len(opt.schemes))
@@ -217,6 +232,15 @@ func runScenarios(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 		if opt.tail {
 			printTail(stdout, res)
 		}
+		if opt.timeline {
+			printTimeline(stdout, res)
+		}
+	}
+	if sink != nil {
+		if err := sink.WriteFile(opt.tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "trace: %d events -> %s\n", sink.Len(), opt.tracePath)
 	}
 	if store != nil {
 		// Close flushes the store's batched segment writes and persists its
@@ -313,6 +337,24 @@ func printTail(w io.Writer, res bench.ScenarioResult) {
 		fmt.Fprintf(w, "-- tail latency [cycles]: phase %s (%d ops) --\n%s", seg.Name, seg.Ops, seg.Tail)
 	}
 	fmt.Fprintf(w, "-- tail latency [cycles]: total (%d ops) --\n%s\n", res.Ops, res.Tail)
+}
+
+// printTimeline renders the windowed sim-time metrics tables: one per phase
+// plus the trial total. All phases share the trial's measured cycle axis, so
+// a later phase's table leads with the zero windows its predecessors filled.
+func printTimeline(w io.Writer, res bench.ScenarioResult) {
+	for _, seg := range res.Phases {
+		if seg.Timeline == nil {
+			continue
+		}
+		fmt.Fprintf(w, "-- timeline [per window]: phase %s (%d ops) --\n", seg.Name, seg.Ops)
+		seg.Timeline.WriteTable(w)
+	}
+	if res.Timeline != nil {
+		fmt.Fprintf(w, "-- timeline [per window]: total (%d ops) --\n", res.Ops)
+		res.Timeline.WriteTable(w)
+		fmt.Fprintln(w)
+	}
 }
 
 // missPct is the segment's L1 miss rate in percent.

@@ -160,6 +160,33 @@ func TestParseArgsTailFlag(t *testing.T) {
 	}
 }
 
+func TestParseArgsTimelineAndTraceFlags(t *testing.T) {
+	opt, err := parseArgs([]string{"-preset", "churn-drain", "-timeline", "-trace", "t.json"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.timeline || !opt.sw.RecordTimeline {
+		t.Error("-timeline must enable timeline recording")
+	}
+	if opt.tracePath != "t.json" {
+		t.Errorf("tracePath = %q, want t.json", opt.tracePath)
+	}
+	opt, err = parseArgs([]string{"-preset", "churn-drain", "-timeline-window", "8192"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.sw.TimelineWindow != 8192 {
+		t.Errorf("TimelineWindow = %d, want 8192", opt.sw.TimelineWindow)
+	}
+	opt, err = parseArgs([]string{"-preset", "churn-drain"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.timeline || opt.sw.RecordTimeline || opt.tracePath != "" {
+		t.Error("tracing and timelines must be off by default")
+	}
+}
+
 // TestTailTableConsistency is the acceptance check for the -tail report:
 // for every phase (and the total), the per-kind counts (insert+delete+read)
 // and the per-attribution counts (useful+reclaim+retry) printed by the

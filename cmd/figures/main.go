@@ -35,6 +35,7 @@ import (
 	"condaccess/internal/lab"
 	"condaccess/internal/latency"
 	"condaccess/internal/obs"
+	"condaccess/internal/scenario"
 	"condaccess/internal/smr"
 )
 
@@ -42,7 +43,7 @@ var allSchemes = []string{"none", "ca", "ibr", "rcu", "qsbr", "hp", "he"}
 
 // figOrder is the run order of the figure jobs; parseArgs validates -fig
 // against it.
-var figOrder = []string{"fig1list", "fig1bst", "fig2hash", "fig2stack", "fig3mem", "assoc", "tuning", "smt", "hmlist", "tail"}
+var figOrder = []string{"fig1list", "fig1bst", "fig2hash", "fig2stack", "fig3mem", "assoc", "tuning", "smt", "hmlist", "tail", "timeline"}
 
 // options is the parsed command line: the fully-derived generator (scale
 // already resolved from -quick and -trials) plus the figure selection.
@@ -188,6 +189,7 @@ func figures(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 		"smt":       g.smt,
 		"hmlist":    g.hmlist,
 		"tail":      g.tail,
+		"timeline":  g.timeline,
 	}
 	for _, name := range figOrder {
 		if opt.fig != "all" && opt.fig != name {
@@ -461,6 +463,73 @@ func (g generator) tail() error {
 		fmt.Printf("%-12s: p50 %5d  p99 %5d  p99.9 %5d  max %5d  | reclaim-tagged %d/%d ops, pause p99 %d\n",
 			tc.name, s.P50, s.P99, s.P999, s.Max,
 			t.Reclaim.Count(), t.Total.Count(), t.Pause.Quantile(0.99))
+	}
+	return nil
+}
+
+// timeline renders the pause-storm picture behind the Section I critique as
+// a windowed sim-time series: the churn-drain scenario (100% updates with a
+// think-time swing) for CA versus epoch-based reclamation at the paper's
+// default batch and at a throughput-chasing large batch. Each CSV row is one
+// fixed cycle window of one configuration — ops by kind, retries, and the
+// cycles the window's ops spent inside reclamation pauses — so the batching
+// schemes' periodic pause spikes line up against CA's flat zero-pause line
+// on a shared simulated-time axis.
+func (g generator) timeline() error {
+	f, err := os.Create(filepath.Join(g.out, "fig_timeline.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "config,window_start,window_end,ops,insert,delete,read,retries,pause_cycles")
+	sc, err := scenario.Preset(scenario.PresetChurnDrain)
+	if err != nil {
+		return err
+	}
+	configs := []struct {
+		name   string
+		scheme string
+		smr    smr.Options
+	}{
+		{"ca", "ca", smr.Options{}},
+		{"rcu_batch30", "rcu", smr.Options{ReclaimEvery: 30}},
+		{"rcu_batch400", "rcu", smr.Options{ReclaimEvery: 400}},
+	}
+	labels := make([]string, len(configs))
+	for i, tc := range configs {
+		labels[i] = "timeline " + tc.name
+	}
+	base := g.rec.AddPoints(labels, 1)
+	r := bench.Runner{Store: g.store, Obs: g.rec.Worker(0)}
+	for i, tc := range configs {
+		sw := bench.ScenarioWorkload{
+			DS: "list", Scheme: tc.scheme,
+			Threads: 8, KeyRange: 1000,
+			Seed: g.seed, Check: g.check, SMR: tc.smr,
+			RecordTimeline: true,
+			Scenario:       sc,
+		}
+		g.rec.PointStart(base + i)
+		res, err := r.RunScenario(sw)
+		if err != nil {
+			r.Obs.Abandon()
+			return err
+		}
+		r.Obs.Commit(base + i)
+		g.rec.PointDone(base + i)
+		tl := res.Timeline
+		var peak, pauseSum uint64
+		for _, row := range tl.Rows() {
+			ops := row.Ops()
+			if ops > peak {
+				peak = ops
+			}
+			pauseSum += row.Pause
+			fmt.Fprintf(f, "%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				tc.name, row.Start, row.End, ops, row.Insert, row.Delete, row.Read, row.Retries, row.Pause)
+		}
+		fmt.Printf("%-12s: %3d windows of %d kcycles, peak %4d ops/window, pause cycles %d\n",
+			tc.name, len(tl.Rows()), tl.Window/1000, peak, pauseSum)
 	}
 	return nil
 }

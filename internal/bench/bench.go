@@ -33,6 +33,7 @@ import (
 	"condaccess/internal/mem"
 	"condaccess/internal/sim"
 	"condaccess/internal/smr"
+	"condaccess/internal/trace"
 )
 
 // Scheme names accepted by Workload.Scheme: "ca" plus smr.Names().
@@ -84,6 +85,18 @@ type Workload struct {
 	// The field participates in the store content address only when set
 	// (omitempty), so pre-existing store keys are untouched.
 	RecordTail bool `json:",omitempty"`
+
+	// RecordTimeline fills Result.Timeline: the windowed sim-time metrics
+	// series (per-window ops by kind, retries, absorbed pause cycles).
+	// Like RecordTail it is omitempty, so pre-existing store keys are
+	// untouched, and the recorded timeline travels through the store
+	// envelope — a warm hit reproduces it byte-for-byte.
+	RecordTimeline bool `json:",omitempty"`
+
+	// TimelineWindow overrides the timeline window size in simulated cycles
+	// (0 means trace.DefaultWindow; nonzero values below trace.MinWindow are
+	// rejected).
+	TimelineWindow uint64 `json:",omitempty"`
 }
 
 // DefaultOpWork approximates per-operation bookkeeping instructions.
@@ -125,6 +138,13 @@ type Result struct {
 	// costs O(buckets) memory however long the trial is, and merges exactly
 	// across threads, phases, and trials.
 	Tail *latency.Tail `json:",omitempty"`
+
+	// Timeline is the windowed sim-time metrics series of the measured run,
+	// filled when W.RecordTimeline is set: per-window op counts by kind,
+	// retry restarts, and absorbed reclamation-pause cycles, merged exactly
+	// across threads and phases like Tail. Cycle zero is the measured run's
+	// start (the clocks reset after prefill).
+	Timeline *trace.Timeline `json:",omitempty"`
 }
 
 // LatencyStats summarizes the per-operation simulated-latency distribution.

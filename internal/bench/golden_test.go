@@ -48,6 +48,7 @@ func goldenWorkload(ds, scheme string) Workload {
 // instead.
 func goldenSum(res Result) uint64 {
 	res.Tail = nil
+	res.Timeline = nil
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", res)
 	return h.Sum64()

@@ -9,6 +9,7 @@ import (
 	"condaccess/internal/obs"
 	"condaccess/internal/scenario"
 	"condaccess/internal/sim"
+	"condaccess/internal/trace"
 )
 
 // Runner executes trials on reusable simulated machines. Building a machine
@@ -37,6 +38,15 @@ type Runner struct {
 	// after each Run/RunScenario, naming the sweep point the trial
 	// belongs to.
 	Obs *obs.WorkerRec
+
+	// Trace, when non-nil, receives every simulated trial's full event
+	// stream: the Runner opens a trial track on it and attaches it to the
+	// machine for the measured run (after prefill, once the clocks are
+	// reset, so trace timestamps share the measured cycle axis). Strictly
+	// observational — results are bit-for-bit identical with or without it
+	// — and warm store hits emit no events (nothing was simulated). Like
+	// the Runner itself, a shared sink is not safe for concurrent use.
+	Trace *trace.Sink
 }
 
 // Run executes one trial: build, prefill to 50%, reset clocks, run the
@@ -69,7 +79,8 @@ func (r *Runner) Run(w Workload) (Result, error) {
 			res, ok = r.Store.LookupTrial(w)
 		}
 		r.Obs.End(obs.PhaseLookup, t0)
-		if ok && !staleTail(w.RecordLatency || w.RecordTail, res.Tail) {
+		if ok && !staleTail(w.RecordLatency || w.RecordTail, res.Tail) &&
+			!staleTimeline(w.RecordTimeline, res.Timeline) {
 			r.Obs.Warm()
 			return res, nil
 		}
@@ -128,6 +139,7 @@ func lowerWorkload(w Workload) ScenarioWorkload {
 		SMR: w.SMR, Cache: w.Cache, Slack: w.Slack,
 		Dist: w.Dist, FootprintEvery: w.FootprintEvery,
 		RecordLatency: w.RecordLatency, RecordTail: w.RecordTail,
+		RecordTimeline: w.RecordTimeline, TimelineWindow: w.TimelineWindow,
 		Scenario: scenario.Scenario{
 			Name: "stationary",
 			Phases: []scenario.Phase{{
@@ -179,6 +191,13 @@ func staleTail(wantTail bool, tail *latency.Tail) bool {
 	return wantTail && tail == nil
 }
 
+// staleTimeline is staleTail's analogue for the windowed timeline: a hit
+// written before timelines existed (or by a spec that didn't record one)
+// cannot serve a timeline-recording spec, so it is re-simulated in place.
+func staleTimeline(want bool, tl *trace.Timeline) bool {
+	return want && tl == nil
+}
+
 // Run executes one trial on a fresh machine. Sweeps use a Runner to reuse
 // machines across trials; the results are identical.
 func Run(w Workload) (Result, error) {
@@ -205,6 +224,9 @@ func validate(w *Workload) error {
 	if w.Buckets < 0 {
 		return fmt.Errorf("bench: buckets %d must be non-negative", w.Buckets)
 	}
+	if err := validTimelineWindow(w.TimelineWindow); err != nil {
+		return err
+	}
 	if err := validDist(w.Dist); err != nil {
 		return err
 	}
@@ -212,6 +234,13 @@ func validate(w *Workload) error {
 		return err
 	}
 	return validScheme(w.Scheme)
+}
+
+func validTimelineWindow(w uint64) error {
+	if w != 0 && w < trace.MinWindow {
+		return fmt.Errorf("bench: timeline window %d below minimum %d cycles", w, trace.MinWindow)
+	}
+	return nil
 }
 
 func validDS(ds string) error {

@@ -9,6 +9,7 @@ import (
 	"condaccess/internal/scenario"
 	"condaccess/internal/sim"
 	"condaccess/internal/smr"
+	"condaccess/internal/trace"
 )
 
 // ScenarioWorkload binds a declarative scenario to a data structure, a
@@ -40,6 +41,12 @@ type ScenarioWorkload struct {
 	// see Workload.RecordTail.
 	RecordTail bool `json:",omitempty"`
 
+	// RecordTimeline and TimelineWindow fill the per-phase and trial
+	// timelines; see Workload.RecordTimeline. Both omitempty so
+	// pre-existing store keys are untouched.
+	RecordTimeline bool   `json:",omitempty"`
+	TimelineWindow uint64 `json:",omitempty"`
+
 	Scenario scenario.Scenario
 
 	// legacyQueueRead keeps the queue's read share as the historical
@@ -69,6 +76,12 @@ type PhaseSegment struct {
 	// per-attribution histograms) when RecordLatency is set. Phase tails
 	// merge exactly into the trial's Result.Tail.
 	Tail *latency.Tail `json:",omitempty"`
+	// Timeline holds this phase's windowed sim-time metrics when
+	// RecordTimeline is set. Phases share the trial's cycle axis (clocks
+	// are not reset between phases), so a later phase's series carries
+	// zero windows for the earlier phases' span, and phase timelines merge
+	// exactly into the trial's Result.Timeline.
+	Timeline *trace.Timeline `json:",omitempty"`
 }
 
 // ScenarioResult is a scenario trial: the familiar whole-trial Result plus
@@ -128,6 +141,9 @@ func validateScenarioWorkload(sw *ScenarioWorkload) error {
 	}
 	if sw.Buckets < 0 {
 		return fmt.Errorf("bench: buckets %d must be non-negative", sw.Buckets)
+	}
+	if err := validTimelineWindow(sw.TimelineWindow); err != nil {
+		return err
 	}
 	if err := validDist(sw.Dist); err != nil {
 		return err
@@ -301,7 +317,8 @@ func (r *Runner) RunScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 			sres, ok = r.Store.LookupScenario(sw)
 		}
 		r.Obs.End(obs.PhaseLookup, t0)
-		if ok && !staleTail(sw.RecordLatency || sw.RecordTail, sres.Tail) {
+		if ok && !staleTail(sw.RecordLatency || sw.RecordTail, sres.Tail) &&
+			!staleTimeline(sw.RecordTimeline, sres.Timeline) {
 			r.Obs.Warm()
 			return sres, nil
 		}
@@ -363,6 +380,7 @@ func (r *Runner) runScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 		SMR: sw.SMR, Cache: sw.Cache, Slack: sw.Slack,
 		Dist: sw.Dist, FootprintEvery: sw.FootprintEvery,
 		RecordLatency: sw.RecordLatency, RecordTail: sw.RecordTail,
+		RecordTimeline: sw.RecordTimeline, TimelineWindow: sw.TimelineWindow,
 	}
 	b, err := build(m, wv)
 	if err != nil {
@@ -381,6 +399,17 @@ func (r *Runner) runScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 		LiveNodes: m.Space.Stats().NodeLive(),
 	}
 	m.ResetClocks()
+
+	// Attach the event sink only now — after build and prefill, with the
+	// clocks reset — so trace timestamps live on the measured run's cycle
+	// axis (the same axis the timeline and tail recorders use), and detach
+	// it before the machine returns to the Runner's cache, error or not.
+	if r.Trace != nil {
+		r.Trace.BeginTrial(fmt.Sprintf("%s %s/%s t=%d seed=%d",
+			sw.Scenario.Name, sw.DS, sw.Scheme, sw.Threads, sw.Seed))
+		m.SetTrace(r.Trace)
+		defer m.SetTrace(nil)
+	}
 
 	// Per-thread RNG streams. The prefill consumed machine spawn index 0,
 	// so the measured threads run under spawn indices 1..Threads — the
@@ -411,6 +440,18 @@ func (r *Runner) runScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 		tails = make([]latency.Tail, sw.Threads)
 		trialTail = &latency.Tail{}
 	}
+	// Per-thread timeline recorders, reused across phases exactly like the
+	// tail recorders: O(windows) memory however long the trial runs.
+	var tlines []trace.Timeline
+	var trialTline *trace.Timeline
+	if sw.RecordTimeline {
+		win := trace.ResolveWindow(sw.TimelineWindow)
+		tlines = make([]trace.Timeline, sw.Threads)
+		for i := range tlines {
+			tlines[i].Window = win
+		}
+		trialTline = &trace.Timeline{Window: win}
+	}
 	baseOps := 0
 	baseClock := uint64(0)
 	baseRetries := sres.Prefill.Retries
@@ -430,14 +471,18 @@ func (r *Runner) runScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 			rng := rngs[i]
 			var lat *[]uint64
 			var tail *latency.Tail
+			var tline *trace.Timeline
 			if lats != nil {
 				lat = &lats[i]
 			}
 			if tails != nil {
 				tail = &tails[i]
 			}
+			if tlines != nil {
+				tline = &tlines[i]
+			}
 			m.Spawn(func(c *sim.Ctx) {
-				runSegment(c, b, prog, rng, lat, tail, &totalOps, sample)
+				runSegment(c, b, prog, rng, lat, tail, tline, &totalOps, sample)
 			})
 		}
 		m.Run()
@@ -475,6 +520,19 @@ func (r *Runner) runScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 			}
 			trialTail.Merge(seg.Tail)
 		}
+		if tlines != nil {
+			// Same shape for the timelines: thread-order merge into the
+			// phase series, fold into the trial series, reset for reuse.
+			seg.Timeline = &trace.Timeline{Window: trialTline.Window}
+			for i := range tlines {
+				seg.Timeline.Merge(&tlines[i])
+				tlines[i].Reset()
+			}
+			trialTline.Merge(seg.Timeline)
+		}
+		if r.Trace != nil {
+			r.Trace.Phase(plan.progs[pi][0].name, baseClock, endClock)
+		}
 		sres.Phases = append(sres.Phases, seg)
 		baseOps, baseClock, baseRetries, baseCache = totalOps, endClock, endRetries, endCache
 	}
@@ -482,7 +540,8 @@ func (r *Runner) runScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 	if sw.RecordLatency {
 		sres.Latency = computeLatency(allLats)
 	}
-	sres.Tail = trialTail // nil unless tail recording was on
+	sres.Tail = trialTail      // nil unless tail recording was on
+	sres.Timeline = trialTline // nil unless timeline recording was on
 	sres.Ops = uint64(totalOps)
 	sres.Cycles = m.MaxClock()
 	if sres.Cycles > 0 {
@@ -510,12 +569,12 @@ func RunScenario(sw ScenarioWorkload) (ScenarioResult, error) {
 // (the exact-sort slice and the tail histograms) is host-side bookkeeping
 // between simulated operations: it charges no cycles, so recorded and
 // unrecorded runs are bit-for-bit identical in simulated behavior.
-func runSegment(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG, lat *[]uint64, tail *latency.Tail, totalOps *int, sample func()) {
+func runSegment(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG, lat *[]uint64, tail *latency.Tail, tline *trace.Timeline, totalOps *int, sample func()) {
 	if prog.ops > 0 {
 		span := float64(prog.ops)
 		for j := 0; j < prog.ops; j++ {
 			c.Work(prog.work(j, float64(j)/span))
-			measuredOp(c, b, prog, rng, lat, tail)
+			measuredOp(c, b, prog, rng, lat, tail, tline)
 			*totalOps++
 			sample()
 		}
@@ -529,7 +588,7 @@ func runSegment(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG, lat *[]uint64,
 			return
 		}
 		c.Work(prog.work(j, float64(elapsed)/span))
-		measuredOp(c, b, prog, rng, lat, tail)
+		measuredOp(c, b, prog, rng, lat, tail, tline)
 		*totalOps++
 		sample()
 	}
@@ -545,9 +604,11 @@ func runSegment(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG, lat *[]uint64,
 // recorded), else an op that restarted at least once is tagged retry, else
 // useful — so the attribution counts partition the op count exactly, like
 // the kind counts do.
-func measuredOp(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG, lat *[]uint64, tail *latency.Tail) {
+func measuredOp(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG, lat *[]uint64, tail *latency.Tail, tline *trace.Timeline) {
+	sink := c.Trace()
+	record := tail != nil || tline != nil || sink != nil
 	var pause0, retries0 uint64
-	if tail != nil {
+	if record {
 		pause0, retries0 = c.PauseCycles(), c.RetryCount()
 	}
 	start := c.Clock()
@@ -555,15 +616,26 @@ func measuredOp(c *sim.Ctx, b built, prog *segProg, rng *sim.RNG, lat *[]uint64,
 	if lat != nil {
 		*lat = append(*lat, c.Clock()-start)
 	}
-	if tail != nil {
+	if record {
+		end := c.Clock()
+		dp := c.PauseCycles() - pause0
+		dr := c.RetryCount() - retries0
 		attr := latency.AttrUseful
-		if dp := c.PauseCycles() - pause0; dp != 0 {
+		if dp != 0 {
 			attr = latency.AttrReclaim
-			tail.RecordPause(dp)
-		} else if c.RetryCount() != retries0 {
+		} else if dr != 0 {
 			attr = latency.AttrRetry
 		}
-		tail.Record(kind, attr, c.Clock()-start)
+		if tail != nil {
+			if dp != 0 {
+				tail.RecordPause(dp)
+			}
+			tail.Record(kind, attr, end-start)
+		}
+		if tline != nil {
+			tline.RecordOp(end, kind, dr, dp)
+		}
+		sink.Op(c.ThreadID(), kind, attr, start, end)
 	}
 }
 

@@ -58,9 +58,11 @@ func scenarioCellKey(sw ScenarioWorkload) string {
 // exact-sort percentiles that are fingerprinted here).
 func scenarioGoldenSum(res ScenarioResult) uint64 {
 	res.Tail = nil
+	res.Timeline = nil
 	res.Phases = append([]PhaseSegment(nil), res.Phases...)
 	for i := range res.Phases {
 		res.Phases[i].Tail = nil
+		res.Phases[i].Timeline = nil
 	}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", res)

@@ -9,6 +9,7 @@ import (
 	"condaccess/internal/cache"
 	"condaccess/internal/latency"
 	"condaccess/internal/obs"
+	"condaccess/internal/trace"
 )
 
 // SweepConfig describes a cross-product experiment: one data structure, a
@@ -43,6 +44,11 @@ type SweepConfig struct {
 	// RecordTail fills each point's Result.Tail alone (O(buckets), no
 	// exact-sort slices); see Workload.RecordTail.
 	RecordTail bool
+	// RecordTimeline fills each trial's Result.Timeline and each point's
+	// merged SweepPoint.Timeline; see Workload.RecordTimeline.
+	RecordTimeline bool
+	// TimelineWindow overrides the timeline window size in cycles.
+	TimelineWindow uint64
 
 	// Store, when non-nil, caches complete trial results by content-addressed
 	// spec (read-through/write-through, on both execution paths): re-running
@@ -59,6 +65,13 @@ type SweepConfig struct {
 	// sequential even under the pool). Observation changes no point, no
 	// report, and no error.
 	Obs *obs.Rec `json:"-"`
+
+	// Trace, when non-nil, receives the full event stream of every
+	// simulated trial, one trace process track per trial, in sweep order.
+	// Requires the sequential path (Workers <= 1): a sink shared across
+	// pool workers would interleave events nondeterministically, so
+	// validateSweep rejects the combination. Excluded from JSON like Store.
+	Trace *trace.Sink `json:"-"`
 }
 
 // SweepPoint is one measured point of a sweep.
@@ -80,6 +93,11 @@ type SweepPoint struct {
 	// distribution a single Trials-times-longer run would have recorded).
 	// Zero unless RecordLatency or RecordTail is set.
 	Tail latency.Summary
+
+	// Timeline merges the point's per-trial timelines window by window
+	// (trials share the measured cycle axis, so window i aggregates every
+	// trial's window i). Nil unless RecordTimeline is set.
+	Timeline *trace.Timeline
 }
 
 // pointSpec is one cell of the sweep cross product.
@@ -112,12 +130,14 @@ func trialWorkload(cfg SweepConfig, s pointSpec, trial int) Workload {
 		DS: cfg.DS, Scheme: s.Scheme,
 		Threads: s.Threads, KeyRange: cfg.KeyRange, UpdatePct: s.UpdatePct,
 		OpsPerThread: cfg.Ops, Buckets: cfg.Buckets,
-		Seed:          cfg.Seed + uint64(trial)*1000003,
-		Check:         cfg.Check,
-		Cache:         cfg.Cache,
-		Dist:          cfg.Dist,
-		RecordLatency: cfg.RecordLatency,
-		RecordTail:    cfg.RecordTail,
+		Seed:           cfg.Seed + uint64(trial)*1000003,
+		Check:          cfg.Check,
+		Cache:          cfg.Cache,
+		Dist:           cfg.Dist,
+		RecordLatency:  cfg.RecordLatency,
+		RecordTail:     cfg.RecordTail,
+		RecordTimeline: cfg.RecordTimeline,
+		TimelineWindow: cfg.TimelineWindow,
 	}
 }
 
@@ -140,6 +160,15 @@ func mergePoint(s pointSpec, trials []Result) SweepPoint {
 			merged.Merge(&r.Tail.Total)
 		}
 	}
+	var tl *trace.Timeline
+	for _, r := range trials {
+		if r.Timeline != nil {
+			if tl == nil {
+				tl = &trace.Timeline{Window: r.Timeline.Window}
+			}
+			tl.Merge(r.Timeline)
+		}
+	}
 	last := trials[len(trials)-1]
 	return SweepPoint{
 		Scheme: s.Scheme, Threads: s.Threads, UpdatePct: s.UpdatePct,
@@ -149,6 +178,7 @@ func mergePoint(s pointSpec, trials []Result) SweepPoint {
 		Result:     last,
 		Stats:      stats,
 		Tail:       merged.Summary(),
+		Timeline:   tl,
 	}
 }
 
@@ -198,6 +228,9 @@ func validateSweep(cfg SweepConfig) error {
 	if len(cfg.Updates) == 0 {
 		return fmt.Errorf("bench: sweep has no update rates")
 	}
+	if cfg.Trace != nil && cfg.Workers > 1 {
+		return fmt.Errorf("bench: sweep tracing requires workers <= 1 (a sink shared across %d workers would record nondeterministically)", cfg.Workers)
+	}
 	return nil
 }
 
@@ -219,7 +252,7 @@ func Sweep(cfg SweepConfig, report func(SweepPoint)) ([]SweepPoint, error) {
 	}
 	var points []SweepPoint
 	// reuses one machine per geometry across the sweep
-	runner := Runner{Store: cfg.Store, Obs: cfg.Obs.Worker(0)}
+	runner := Runner{Store: cfg.Store, Obs: cfg.Obs.Worker(0), Trace: cfg.Trace}
 	for si, s := range specs {
 		cfg.Obs.PointStart(base + si)
 		trials := make([]Result, cfg.Trials)

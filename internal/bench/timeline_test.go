@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"condaccess/internal/scenario"
+	"condaccess/internal/smr"
+	"condaccess/internal/trace"
+)
+
+// timelineScenario is the tracing tests' shared cell: churn-drain under a
+// batching reclaimer, so the trace carries pause and scan events and the
+// timeline carries nonzero pause cycles.
+func timelineScenario(t *testing.T) ScenarioWorkload {
+	t.Helper()
+	sc, err := scenario.Preset(scenario.PresetChurnDrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ScenarioWorkload{
+		DS: "list", Scheme: "rcu", Threads: 4, KeyRange: 128, Seed: 7,
+		SMR:      smr.Options{ReclaimEvery: 30},
+		Scenario: sc,
+	}
+}
+
+// TestTracingObservational is the tentpole's acceptance property: attaching
+// a trace sink (and recording timelines) must not perturb the simulation.
+// The golden fingerprint of a traced run equals the untraced one, on both
+// the stationary and scenario paths.
+func TestTracingObservational(t *testing.T) {
+	w := goldenWorkload("list", "rcu")
+	base, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := Runner{Trace: &trace.Sink{}}
+	wt := w
+	wt.RecordTimeline = true
+	res, err := traced.Run(wt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Trace.Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	if res.Timeline == nil {
+		t.Fatal("RecordTimeline run returned no timeline")
+	}
+	res.W.RecordTimeline = false // the spec field differs by design; results must not
+	if goldenSum(base) != goldenSum(res) {
+		t.Errorf("tracing perturbed the simulation:\nbase   %+v\ntraced %+v", base, res)
+	}
+
+	sw := timelineScenario(t)
+	var plain Runner
+	sbase, err := plain.RunScenario(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swt := sw
+	swt.RecordTimeline = true
+	stress := Runner{Trace: &trace.Sink{}}
+	sres, err := stress.RunScenario(swt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goldenSum(sbase.Result) != goldenSum(sres.Result) {
+		t.Error("scenario tracing perturbed the simulation")
+	}
+}
+
+// TestTraceDeterministicBytes: two identical traced runs must render
+// byte-identical trace files — the determinism the CI smoke step cmp-checks
+// end to end.
+func TestTraceDeterministicBytes(t *testing.T) {
+	render := func() string {
+		r := Runner{Trace: &trace.Sink{}}
+		if _, err := r.RunScenario(timelineScenario(t)); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := r.Trace.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Error("two identical runs rendered different trace bytes")
+	}
+	if !strings.Contains(a, `"cat":"smr"`) {
+		t.Error("rcu trace carries no reclamation events")
+	}
+	if !strings.Contains(a, `"cat":"phase"`) {
+		t.Error("scenario trace carries no phase slices")
+	}
+}
+
+// TestTimelineMatchesTotals cross-checks the timeline against the result's
+// independently-counted aggregates: per-phase window sums equal the phase's
+// op count, the trial timeline equals the merged phases, and pause cycles
+// agree exactly with the tail histogram's pause sum (both use the same
+// per-op delta attribution).
+func TestTimelineMatchesTotals(t *testing.T) {
+	sw := timelineScenario(t)
+	sw.RecordTimeline = true
+	sw.RecordTail = true
+	var r Runner
+	res, err := r.RunScenario(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil {
+		t.Fatal("no trial timeline")
+	}
+	merged := &trace.Timeline{Window: res.Timeline.Window}
+	for _, seg := range res.Phases {
+		if seg.Timeline == nil {
+			t.Fatalf("phase %s has no timeline", seg.Name)
+		}
+		if got, want := seg.Timeline.TotalOps(), uint64(seg.Ops); got != want {
+			t.Errorf("phase %s timeline ops %d, segment counted %d", seg.Name, got, want)
+		}
+		var pause uint64
+		for _, row := range seg.Timeline.Rows() {
+			pause += row.Pause
+		}
+		if want := seg.Tail.Pause.Sum(); pause != want {
+			t.Errorf("phase %s timeline pause cycles %d, tail histogram %d", seg.Name, pause, want)
+		}
+		merged.Merge(seg.Timeline)
+	}
+	if got, want := res.Timeline.TotalOps(), uint64(res.Ops); got != want {
+		t.Errorf("trial timeline ops %d, result counted %d", got, want)
+	}
+	if !reflect.DeepEqual(merged, res.Timeline) {
+		t.Error("trial timeline is not the merge of the phase timelines")
+	}
+	var pause uint64
+	for _, row := range res.Timeline.Rows() {
+		pause += row.Pause
+	}
+	if pause == 0 {
+		t.Error("batching reclaimer recorded zero pause cycles")
+	}
+	if want := res.Tail.Pause.Sum(); pause != want {
+		t.Errorf("trial timeline pause cycles %d, tail histogram %d", pause, want)
+	}
+}
+
+// TestTimelineOffByDefault: a spec that doesn't ask for a timeline gets nil
+// everywhere — no silent always-on cost.
+func TestTimelineOffByDefault(t *testing.T) {
+	res, err := Run(goldenWorkload("list", "ca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline != nil {
+		t.Error("stationary result has a timeline without RecordTimeline")
+	}
+	var r Runner
+	sres, err := r.RunScenario(timelineScenario(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Timeline != nil {
+		t.Error("scenario result has a timeline without RecordTimeline")
+	}
+	for _, seg := range sres.Phases {
+		if seg.Timeline != nil {
+			t.Errorf("phase %s has a timeline without RecordTimeline", seg.Name)
+		}
+	}
+}
+
+// TestStaleTimelineStoreHitReSimulates is staleTail's analogue for the
+// timeline: a warm hit without one cannot serve a timeline-recording spec.
+func TestStaleTimelineStoreHitReSimulates(t *testing.T) {
+	mem := newMemStore()
+	w := goldenWorkload("list", "rcu")
+	w.RecordTimeline = true
+	r := Runner{Store: mem}
+	if _, err := r.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	stored := mem.trials[specKey(TrialSpecBytes(w))]
+	stored.Timeline = nil
+	mem.trials[specKey(TrialSpecBytes(w))] = stored
+
+	r = Runner{Store: mem}
+	res, err := r.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline == nil {
+		t.Fatal("stale hit was returned instead of re-simulated")
+	}
+	if got := mem.trials[specKey(TrialSpecBytes(w))]; got.Timeline == nil {
+		t.Error("re-simulation did not overwrite the stale entry")
+	}
+
+	// A spec without timeline recording keys separately and keeps hitting
+	// its own (timeline-less) entry: staleTimeline must not demand a
+	// timeline nobody asked for.
+	w2 := w
+	w2.RecordTimeline = false
+	if _, err := r.Run(w2); err != nil { // cold fill of w2's key
+		t.Fatal(err)
+	}
+	puts := mem.puts
+	if _, err := r.Run(w2); err != nil {
+		t.Fatal(err)
+	}
+	if mem.puts != puts {
+		t.Error("timeline-less spec re-simulated a servable entry")
+	}
+}
+
+// TestSweepTimelineMerge: a sweep point's timeline is the window-by-window
+// merge of its trials, and every trial's ops are accounted for.
+func TestSweepTimelineMerge(t *testing.T) {
+	cfg := SweepConfig{
+		DS: "list", Schemes: []string{"rcu"}, Threads: []int{2},
+		Updates: []int{100}, KeyRange: 64, Ops: 150, Seed: 3, Trials: 2,
+		RecordTimeline: true, TimelineWindow: 8192,
+	}
+	points, err := Sweep(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("points = %d, want 1", len(points))
+	}
+	tl := points[0].Timeline
+	if tl == nil {
+		t.Fatal("sweep point has no timeline")
+	}
+	if tl.Window != 8192 {
+		t.Errorf("window %d, want the configured 8192", tl.Window)
+	}
+	want := uint64(cfg.Trials * 2 * cfg.Ops) // trials x threads x ops/thread
+	if got := tl.TotalOps(); got != want {
+		t.Errorf("merged timeline ops %d, want %d", got, want)
+	}
+}
+
+// TestSweepTraceRequiresSequential: sharing one sink across workers would
+// interleave trials nondeterministically, so Sweep refuses it up front.
+func TestSweepTraceRequiresSequential(t *testing.T) {
+	cfg := SweepConfig{
+		DS: "list", Schemes: []string{"ca"}, Threads: []int{1},
+		Updates: []int{0}, KeyRange: 64, Ops: 50, Seed: 1,
+		Workers: 2, Trace: &trace.Sink{},
+	}
+	if _, err := Sweep(cfg, nil); err == nil {
+		t.Fatal("Sweep accepted a shared trace sink with workers > 1")
+	}
+}
+
+// TestTimelineWindowValidation: explicit windows below MinWindow are
+// rejected on both the stationary and scenario paths.
+func TestTimelineWindowValidation(t *testing.T) {
+	w := goldenWorkload("list", "ca")
+	w.TimelineWindow = 100
+	if _, err := Run(w); err == nil {
+		t.Error("Run accepted a sub-minimum timeline window")
+	}
+	sw := timelineScenario(t)
+	sw.TimelineWindow = 100
+	var r Runner
+	if _, err := r.RunScenario(sw); err == nil {
+		t.Error("RunScenario accepted a sub-minimum timeline window")
+	}
+}

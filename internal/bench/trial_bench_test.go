@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"testing"
+
+	"condaccess/internal/trace"
 )
 
 // benchTrialWorkload is the paper-default single trial for one structure ×
@@ -33,6 +35,30 @@ func BenchmarkTrial(b *testing.B) {
 				w := benchTrialWorkload(ds, scheme)
 				var r Runner // machine reuse across iterations, as in a sweep
 				for i := 0; i < b.N; i++ {
+					if _, err := r.Run(w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTrialTraced is BenchmarkTrial's A/B guard for the tracing and
+// timeline hooks: the same headline cells with a live event sink and
+// timeline recording. Comparing against BenchmarkTrial bounds what tracing
+// costs when it is on; the off path's cost (a nil check per hook) is what
+// keeps the two BenchmarkTrial numbers themselves stable across this
+// feature's introduction.
+func BenchmarkTrialTraced(b *testing.B) {
+	for _, ds := range []string{"list", "bst"} {
+		for _, scheme := range []string{"ca", "rcu"} {
+			b.Run(fmt.Sprintf("%s/%s", ds, scheme), func(b *testing.B) {
+				w := benchTrialWorkload(ds, scheme)
+				w.RecordTimeline = true
+				r := Runner{Trace: &trace.Sink{}}
+				for i := 0; i < b.N; i++ {
+					r.Trace.Reset() // bound sink growth; keeps allocations
 					if _, err := r.Run(w); err != nil {
 						b.Fatal(err)
 					}

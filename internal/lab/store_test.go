@@ -1,6 +1,7 @@
 package lab
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -124,6 +125,75 @@ func TestScenarioWarmRun(t *testing.T) {
 	}
 	if got := st.Stats(); got.Hits != 1 || got.Misses != 1 || got.Puts != 1 {
 		t.Fatalf("scenario traffic %+v, want 1 hit / 1 miss / 1 put", got)
+	}
+}
+
+// TestTimelineWarmRoundTrip: the windowed timeline travels through the
+// store envelope losslessly — a warm hit's timeline is deeply equal to the
+// simulated one and re-marshals to identical bytes, on both the stationary
+// and scenario paths.
+func TestTimelineWarmRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bench.Workload{
+		DS: "list", Scheme: "rcu", Threads: 2, KeyRange: 64, UpdatePct: 100,
+		OpsPerThread: 150, Seed: 5, RecordTimeline: true, TimelineWindow: 8192,
+	}
+	r := bench.Runner{Store: st}
+	cold, err := r.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := r.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats(); got.Hits != 1 {
+		t.Fatalf("store traffic %+v, want exactly one hit", got)
+	}
+	if warm.Timeline == nil || !reflect.DeepEqual(cold.Timeline, warm.Timeline) {
+		t.Fatalf("warm timeline diverges:\ncold: %+v\nwarm: %+v", cold.Timeline, warm.Timeline)
+	}
+	cb, err := json.Marshal(cold.Timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := json.Marshal(warm.Timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cb) != string(wb) {
+		t.Fatalf("warm timeline bytes diverge:\ncold: %s\nwarm: %s", cb, wb)
+	}
+
+	sc, err := scenario.Preset(scenario.PresetChurnDrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := bench.ScenarioWorkload{
+		DS: "list", Scheme: "rcu", Threads: 2, KeyRange: 64, Seed: 5,
+		RecordTimeline: true, Scenario: sc,
+	}
+	scold, err := r.RunScenario(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swarm, err := r.RunScenario(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swarm.Timeline == nil || !reflect.DeepEqual(scold.Timeline, swarm.Timeline) {
+		t.Fatal("warm scenario trial timeline diverges")
+	}
+	if len(swarm.Phases) != len(scold.Phases) {
+		t.Fatal("phase count diverges")
+	}
+	for i := range scold.Phases {
+		if !reflect.DeepEqual(scold.Phases[i].Timeline, swarm.Phases[i].Timeline) {
+			t.Errorf("phase %s timeline diverges", scold.Phases[i].Name)
+		}
 	}
 }
 

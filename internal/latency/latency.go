@@ -287,6 +287,19 @@ const (
 	KindRead
 )
 
+// String returns the canonical lower-case name used everywhere an op kind
+// is rendered: tail tables, trace event names, timeline CSV columns.
+func (k Kind) String() string {
+	switch k {
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	default:
+		return "read"
+	}
+}
+
 // Attr tags a recorded operation by what its latency was spent on: plain
 // useful work, absorbing an SMR reclamation scan/free pass (the paper's
 // batching-pause critique), or restarting after a conditional-access or
@@ -300,6 +313,19 @@ const (
 	AttrReclaim
 	AttrRetry
 )
+
+// String returns the canonical lower-case attribution name, shared by the
+// tail tables and the trace event args.
+func (a Attr) String() string {
+	switch a {
+	case AttrReclaim:
+		return "reclaim"
+	case AttrRetry:
+		return "retry"
+	default:
+		return "useful"
+	}
+}
 
 // Tail is the full tail-latency record of one measured window (a phase, a
 // trial, or a merge of either): the total per-op latency distribution, its
@@ -396,12 +422,12 @@ func (t *Tail) Rows() []struct {
 		Sum  Summary
 	}
 	return []row{
-		{"insert", t.Insert.Summary()},
-		{"delete", t.Delete.Summary()},
-		{"read", t.Read.Summary()},
-		{"useful", t.Useful.Summary()},
-		{"reclaim", t.Reclaim.Summary()},
-		{"retry", t.Retry.Summary()},
+		{KindInsert.String(), t.Insert.Summary()},
+		{KindDelete.String(), t.Delete.Summary()},
+		{KindRead.String(), t.Read.Summary()},
+		{AttrUseful.String(), t.Useful.Summary()},
+		{AttrReclaim.String(), t.Reclaim.Summary()},
+		{AttrRetry.String(), t.Retry.Summary()},
 		{"pause", t.Pause.Summary()},
 		{"total", t.Total.Summary()},
 	}

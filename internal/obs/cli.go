@@ -7,6 +7,7 @@
 package obs
 
 import (
+	"bufio"
 	"flag"
 	"io"
 	"os"
@@ -39,6 +40,8 @@ type SessionConfig struct {
 	Spec      any       // the run's full configuration, recorded in the manifest
 	Stderr    io.Writer // progress target when -progress is set
 	StoreDir  string    // store root, "" if none; enables the default manifest location
+	TraceOut  string    // path of the -trace output, recorded in the manifest
+	Timeline  bool      // whether windowed timeline recording was on
 }
 
 // Session is one CLI run's live observability: profiling started, recorder
@@ -51,6 +54,7 @@ type Session struct {
 
 	prof       *Profiler
 	eventsFile *os.File
+	eventsBuf  *bufio.Writer
 }
 
 // Start begins profiling and, when any observability output is requested —
@@ -76,6 +80,8 @@ func (c *CLIFlags) Start(sc SessionConfig) (*Session, error) {
 		Spec:         sc.Spec,
 		ManifestPath: c.Manifest,
 		ManifestDir:  manifestDir,
+		TraceOut:     sc.TraceOut,
+		Timeline:     sc.Timeline,
 	}
 	if c.Progress {
 		cfg.Progress = sc.Stderr
@@ -87,7 +93,12 @@ func (c *CLIFlags) Start(sc SessionConfig) (*Session, error) {
 			return nil, err
 		}
 		s.eventsFile = f
-		cfg.Events = f
+		// Buffer the JSONL stream: events are small and frequent, and the
+		// recorder writes them from the run's hot path. Close flushes the
+		// buffer on every exit — including the error/Abandon path — before
+		// the file is closed, so a failed run's tail events still land.
+		s.eventsBuf = bufio.NewWriter(f)
+		cfg.Events = s.eventsBuf
 	}
 	s.Rec = New(cfg)
 	return s, nil
@@ -104,6 +115,14 @@ func (s *Session) Close(runErr error) error {
 	var first error
 	if err := s.Rec.Close(runErr); err != nil {
 		first = err
+	}
+	if s.eventsBuf != nil {
+		// Rec.Close just emitted the final run_done/run_failed event into
+		// the buffer; flush it before closing the underlying file.
+		if err := s.eventsBuf.Flush(); err != nil && first == nil {
+			first = err
+		}
+		s.eventsBuf = nil
 	}
 	if s.eventsFile != nil {
 		if err := s.eventsFile.Close(); err != nil && first == nil {

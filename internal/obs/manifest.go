@@ -127,6 +127,8 @@ type Manifest struct {
 	Host      HostInfo        `json:"host"`
 	Config    json.RawMessage `json:"config,omitempty"`
 	Error     string          `json:"error,omitempty"`
+	TraceOut  string          `json:"traceOut,omitempty"`
+	Timeline  bool            `json:"timeline,omitempty"`
 
 	TrialsPlanned int `json:"trialsPlanned"`
 	TrialsDone    int `json:"trialsDone"`
@@ -149,6 +151,8 @@ func (r *Rec) manifestLocked() Manifest {
 		Start:     r.start,
 		WallNanos: int64(r.now().Sub(r.start)),
 		Host:      hostInfo(),
+		TraceOut:  r.cfg.TraceOut,
+		Timeline:  r.cfg.Timeline,
 
 		TrialsPlanned: r.planned,
 		TrialsDone:    r.done,

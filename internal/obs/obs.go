@@ -197,6 +197,13 @@ type Config struct {
 	Progress io.Writer
 	Events   io.Writer
 
+	// TraceOut and Timeline note the run's sim-time tracing outputs in the
+	// manifest: the Chrome trace file the CLI wrote (-trace) and whether
+	// windowed timelines were recorded (-timeline). Bookkeeping only — the
+	// trace itself is produced by the bench/trace layers, out of band.
+	TraceOut string
+	Timeline bool
+
 	// now overrides the clock in tests (progress rate limiting, ETA).
 	now func() time.Time
 }

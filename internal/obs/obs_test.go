@@ -413,6 +413,140 @@ func TestProfiler(t *testing.T) {
 	}
 }
 
+// TestSessionEventsFlushedOnError pins the -events teardown contract: the
+// buffered JSONL writer is flushed and the file closed on the failure path
+// too, so a run that errors out (stores failing, trials abandoned) still
+// leaves a complete event log ending in the run_done trailer that carries
+// the error.
+func TestSessionEventsFlushedOnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "events.jsonl")
+	c := CLIFlags{Events: path}
+	sess, err := c.Start(SessionConfig{Tool: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Rec == nil {
+		t.Fatal("Rec missing with -events set")
+	}
+	sess.Rec.AddPoints([]string{"a"}, 2)
+	w := sess.Rec.Worker(0)
+	sess.Rec.PointStart(0)
+	w.Start(PhaseSimulate)
+	w.Commit(0)
+	w.Start(PhaseSimulate)
+	w.Abandon() // the failing trial's spans are discarded, not committed
+	if err := sess.Close(errors.New("store write failed")); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("event log holds %d lines, want at least run_start/trials/run_done:\n%s", len(lines), data)
+	}
+	type ev struct {
+		Ev    string `json:"ev"`
+		Error string `json:"error"`
+	}
+	var last ev
+	for _, l := range lines {
+		var e ev
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatalf("unparsable (truncated?) event %q: %v", l, err)
+		}
+		last = e
+	}
+	if last.Ev != "run_done" || last.Error != "store write failed" {
+		t.Errorf("final event = %+v, want run_done carrying the run error", last)
+	}
+}
+
+// TestProgressBoundedUpdatesWarmSweep pins the rate limiter under the worst
+// realistic load: a fully-warm 540-trial sweep whose trials commit every
+// couple of fake milliseconds. The plain renderer must emit at least one
+// update but stay bounded by elapsed time (one line per second), not by
+// trial count.
+func TestProgressBoundedUpdatesWarmSweep(t *testing.T) {
+	var buf bytes.Buffer
+	now := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	r := New(Config{Tool: "cabench", Progress: &buf, now: clock})
+	const trials = 540
+	r.AddPoints([]string{"sweep"}, trials)
+	w := r.Worker(0)
+	for i := 0; i < trials; i++ {
+		now = now.Add(2 * time.Millisecond)
+		w.Start(PhaseLookup)
+		w.Warm()
+		w.Commit(0)
+	}
+	got := strings.Count(buf.String(), "\n")
+	// 540 trials x 2ms ≈ 1.08s of fake time: the 1s plain rate allows the
+	// first line plus one refresh — far below one line per trial.
+	if got == 0 || got > 5 {
+		t.Fatalf("%d progress lines for %d rapid warm trials, want 1..5", got, trials)
+	}
+	now = now.Add(time.Second)
+	if err := r.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	final := buf.String()
+	if !strings.Contains(final, "progress: 540/540 trials") || !strings.Contains(final, "warm 100%") {
+		t.Errorf("final render missing totals: %q", final)
+	}
+}
+
+// TestManifestRecordsTraceOutputs: the session's trace/timeline bookkeeping
+// lands in the manifest, and stays omitted when off.
+func TestManifestRecordsTraceOutputs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	c := CLIFlags{Manifest: path}
+	sess, err := c.Start(SessionConfig{Tool: "t", TraceOut: "/tmp/run.trace.json", Timeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TraceOut != "/tmp/run.trace.json" || !m.Timeline {
+		t.Errorf("manifest trace fields = %q/%v", m.TraceOut, m.Timeline)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"traceOut"`) {
+		t.Error("traceOut key missing from manifest JSON")
+	}
+
+	// Off: the omitempty fields disappear from the document entirely.
+	path2 := filepath.Join(dir, "m2.json")
+	c = CLIFlags{Manifest: path2}
+	sess, err = c.Start(SessionConfig{Tool: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "traceOut") || strings.Contains(string(raw), `"timeline"`) {
+		t.Error("trace fields serialized despite being off")
+	}
+}
+
 // TestCLIFlagsRecOnlyWhenAsked pins the Session contract: with no obs flag
 // and no store, the session's recorder is nil (recording fully off); with a
 // manifest path it is live.

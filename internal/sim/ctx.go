@@ -1,6 +1,9 @@
 package sim
 
-import "condaccess/internal/mem"
+import (
+	"condaccess/internal/mem"
+	"condaccess/internal/trace"
+)
 
 // Ctx is a simulated thread's execution context. All shared-memory accesses,
 // Conditional Access instructions, fences, allocation, and local work go
@@ -229,6 +232,9 @@ func (c *Ctx) Work(n uint64) { c.charge(n) }
 func (c *Ctx) BeginPause() {
 	if c.pauseDepth == 0 {
 		c.pauseMark = *c.clock
+		if s := c.m.trace; s != nil {
+			s.PauseBegin(c.th.c, *c.clock)
+		}
 	}
 	c.pauseDepth++
 }
@@ -240,6 +246,9 @@ func (c *Ctx) EndPause() {
 	}
 	if c.pauseDepth--; c.pauseDepth == 0 {
 		c.pauseTotal += *c.clock - c.pauseMark
+		if s := c.m.trace; s != nil {
+			s.PauseEnd(c.th.c, *c.clock)
+		}
 	}
 }
 
@@ -253,7 +262,28 @@ func (c *Ctx) PauseCycles() uint64 { return c.pauseTotal }
 // conditional access or a validation failure forcing the operation back to
 // the top). The data structures call it wherever they bump their own
 // Retries counters. Purely observational: no cycles are charged.
-func (c *Ctx) CountRetry() { c.retryCount++ }
+func (c *Ctx) CountRetry() {
+	c.retryCount++
+	if s := c.m.trace; s != nil {
+		s.Retry(c.th.c, *c.clock)
+	}
+}
+
+// TraceScan records one reclamation scan's outcome — scheme name, nodes
+// freed, nodes still pinned by peers — on the machine's event sink. The
+// reclaimers call it at the end of each scan pass, inside the pause bracket,
+// so the instant lands inside the pause slice it explains. No-op when
+// tracing is off.
+func (c *Ctx) TraceScan(scheme string, freed, kept int) {
+	if s := c.m.trace; s != nil {
+		s.Scan(c.th.c, *c.clock, scheme, freed, kept)
+	}
+}
+
+// Trace returns the machine's attached event sink — nil when tracing is
+// off, which is itself a valid (no-op) sink value. The harness uses it to
+// emit op begin/end events without threading a sink through every call.
+func (c *Ctx) Trace() *trace.Sink { return c.m.trace }
 
 // RetryCount returns how many times this thread's operations have
 // restarted. Like PauseCycles, the harness deltas it around each operation

@@ -27,6 +27,7 @@ import (
 	"condaccess/internal/cache"
 	"condaccess/internal/core"
 	"condaccess/internal/mem"
+	"condaccess/internal/trace"
 )
 
 // Config describes a simulated machine.
@@ -108,6 +109,11 @@ type Machine struct {
 	// Thread i of a phase is always &slab[i] — cores are assigned in spawn
 	// order, so the record's identity is the core.
 	slab []thread
+
+	// trace is the attached event sink, nil when tracing is off. Every
+	// producer guards with one nil check, so the off path costs a single
+	// predictable branch.
+	trace *trace.Sink
 }
 
 // thread is one simulated thread's scheduler record. Its lifetime is a
@@ -250,7 +256,13 @@ func (m *Machine) Run() {
 	if len(m.threads) == 1 {
 		t := m.threads[0]
 		t.ctx.reset(t, ^uint64(0))
+		if m.trace != nil {
+			m.trace.ThreadBegin(t.c, m.clocks[t.c])
+		}
 		t.body(&t.ctx)
+		if m.trace != nil {
+			m.trace.ThreadEnd(t.c, m.clocks[t.c])
+		}
 		m.release()
 		return
 	}
@@ -262,6 +274,11 @@ func (m *Machine) Run() {
 	}
 	for _, t := range m.live {
 		t.start()
+	}
+	if m.trace != nil {
+		for _, t := range m.live {
+			m.trace.ThreadBegin(t.c, m.clocks[t.c])
+		}
 	}
 	defer m.unwind()
 	m.loop()
@@ -283,6 +300,9 @@ func (m *Machine) loop() {
 		if _, running := t.resume(); running {
 			t, limit = m.pickNext()
 			continue
+		}
+		if m.trace != nil {
+			m.trace.ThreadEnd(t.c, m.clocks[t.c])
 		}
 		i := m.pos[t.c]
 		last := len(m.live) - 1
@@ -379,6 +399,13 @@ func (m *Machine) ResetClocks() {
 		m.clocks[i] = 0
 	}
 }
+
+// SetTrace attaches an event sink to the machine (nil detaches). Tracing is
+// strictly observational: it reads clocks the simulation already maintains
+// and never charges a cycle, so a traced run's results are bit-for-bit
+// identical to an untraced one. The harness attaches the sink after prefill
+// (once clocks are reset) so trace timestamps share the measured run's axis.
+func (m *Machine) SetTrace(s *trace.Sink) { m.trace = s }
 
 // String summarizes the machine.
 func (m *Machine) String() string {

@@ -126,6 +126,7 @@ func (e *epoch) scan(c *sim.Ctx, pt *epochThread) {
 		}
 	}
 	kept := pt.retired[:0]
+	freed0 := e.stats.Freed
 	for _, rn := range pt.retired {
 		if rn.retire < minRes {
 			c.Free(rn.addr)
@@ -135,6 +136,7 @@ func (e *epoch) scan(c *sim.Ctx, pt *epochThread) {
 		}
 	}
 	pt.retired = kept
+	c.TraceScan(e.Name(), int(e.stats.Freed-freed0), len(kept))
 }
 
 func (e *epoch) Stats() Stats { return e.stats }

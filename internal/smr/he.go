@@ -136,6 +136,7 @@ func (h *he) scan(c *sim.Ctx, pt *heThread) {
 		}
 	}
 	kept := pt.retired[:0]
+	freed0 := h.stats.Freed
 	for _, rn := range pt.retired {
 		conflict := false
 		for _, e := range eras {
@@ -152,6 +153,7 @@ func (h *he) scan(c *sim.Ctx, pt *heThread) {
 		}
 	}
 	pt.retired = kept
+	c.TraceScan(h.Name(), int(h.stats.Freed-freed0), len(kept))
 }
 
 func (h *he) Stats() Stats { return h.stats }

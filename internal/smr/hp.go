@@ -105,6 +105,7 @@ func (h *hp) scan(c *sim.Ctx, pt *hpThread) {
 		}
 	}
 	kept := pt.retired[:0]
+	freed0 := h.stats.Freed
 	for _, rn := range pt.retired {
 		if _, hazardous := hazards[rn.addr]; hazardous {
 			kept = append(kept, rn)
@@ -114,6 +115,7 @@ func (h *hp) scan(c *sim.Ctx, pt *hpThread) {
 		}
 	}
 	pt.retired = kept
+	c.TraceScan(h.Name(), int(h.stats.Freed-freed0), len(kept))
 }
 
 func (h *hp) Stats() Stats { return h.stats }

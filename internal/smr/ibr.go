@@ -121,6 +121,7 @@ func (r *ibr) scan(c *sim.Ctx, pt *ibrThread) {
 		ivals[t] = ival{lo: c.Read(ra), hi: c.Read(ra + mem.WordBytes)}
 	}
 	kept := pt.retired[:0]
+	freed0 := r.stats.Freed
 	for _, rn := range pt.retired {
 		conflict := false
 		for _, iv := range ivals {
@@ -138,6 +139,7 @@ func (r *ibr) scan(c *sim.Ctx, pt *ibrThread) {
 		}
 	}
 	pt.retired = kept
+	c.TraceScan(r.Name(), int(r.stats.Freed-freed0), len(kept))
 }
 
 func (r *ibr) Stats() Stats { return r.stats }

@@ -1,0 +1,295 @@
+// Package trace instruments the simulated machine itself: deterministic,
+// simulated-cycle-stamped event traces plus windowed metric timelines
+// (timeline.go). Where package obs watches the harness in wall-clock time,
+// this package watches the machine in sim time — when a retry cascade or a
+// reclamation pause storm happens inside a trial, not just that the
+// end-of-trial aggregate is bad.
+//
+// The Sink is an append-only event recorder attached to a sim.Machine via
+// SetTrace. Every hook is nil-safe on a nil *Sink and every producer guards
+// with a single pointer nil check, so the tracing-off hot path costs one
+// predictable branch and zero allocations. Because the simulator is a
+// deterministic single-goroutine event loop, events are appended in a
+// deterministic order and two runs of the same spec yield byte-identical
+// trace files.
+//
+// Traces export in the Chrome trace_event JSON format, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing: each trial is a process track, each
+// simulated core a thread track, operations are complete ("X") slices named
+// by op kind, reclamation pauses are "B"/"E" duration slices, and retries
+// and scans are thread-scoped instants. Timestamps are simulated cycles; the
+// viewers label them microseconds, so read 1 µs as 1 cycle.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"condaccess/internal/latency"
+)
+
+type evKind uint8
+
+const (
+	evOp evKind = iota
+	evRetry
+	evPauseBegin
+	evPauseEnd
+	evScan
+	evThreadBegin
+	evThreadEnd
+	evPhase
+)
+
+// event is one recorded occurrence, compact enough that a full trial's
+// trace is a few dozen bytes per operation.
+type event struct {
+	kind evKind
+	pid  int32 // trial sequence number, 1-based
+	tid  int32 // simulated core id (phaseTID for phase events)
+	op   latency.Kind
+	attr latency.Attr
+	ts   uint64 // simulated cycle (start cycle for spans)
+	dur  uint64 // span length for evOp and evPhase
+	a, b uint64 // evScan: nodes freed, nodes kept
+	name string // evPhase: phase name; evScan: scheme name
+}
+
+// phaseTID is the synthetic track phase-boundary events render on: one
+// "phases" lane per trial, well clear of any real core id.
+const phaseTID = 1_000_000
+
+// Sink records simulated-machine events. The zero value is ready to use;
+// a nil *Sink is a valid, permanently-off sink (every method no-ops), which
+// is what lets producers hold an always-valid pointer and skip tracing with
+// one nil check. Not safe for concurrent use: the simulator is a single
+// goroutine, and the sweep path refuses to share a sink across workers.
+type Sink struct {
+	events []event
+	pid    int32
+	labels []string // trial labels, indexed by pid-1
+}
+
+// ensureTrial lazily opens trial 1 so events recorded before any
+// BeginTrial call still land on a valid process track.
+func (s *Sink) ensureTrial() {
+	if s.pid == 0 {
+		s.pid = 1
+		s.labels = append(s.labels, "")
+	}
+}
+
+// BeginTrial opens the next trial: subsequent events render on a new
+// process track named label.
+func (s *Sink) BeginTrial(label string) {
+	if s == nil {
+		return
+	}
+	s.pid++
+	s.labels = append(s.labels, label)
+}
+
+// Op records one completed operation as a duration slice on the thread's
+// track, named by kind and tagged with its latency attribution.
+func (s *Sink) Op(tid int, k latency.Kind, a latency.Attr, start, end uint64) {
+	if s == nil {
+		return
+	}
+	s.ensureTrial()
+	s.events = append(s.events, event{kind: evOp, pid: s.pid, tid: int32(tid),
+		op: k, attr: a, ts: start, dur: end - start})
+}
+
+// Retry records one operation restart (conditional-access or validation
+// failure) as a thread-scoped instant.
+func (s *Sink) Retry(tid int, cycle uint64) {
+	if s == nil {
+		return
+	}
+	s.ensureTrial()
+	s.events = append(s.events, event{kind: evRetry, pid: s.pid, tid: int32(tid), ts: cycle})
+}
+
+// PauseBegin and PauseEnd bracket a reclamation pause (the outermost
+// BeginPause/EndPause pair of a reclaimer's scan+free pass).
+func (s *Sink) PauseBegin(tid int, cycle uint64) {
+	if s == nil {
+		return
+	}
+	s.ensureTrial()
+	s.events = append(s.events, event{kind: evPauseBegin, pid: s.pid, tid: int32(tid), ts: cycle})
+}
+
+// PauseEnd closes the pause opened by the matching PauseBegin.
+func (s *Sink) PauseEnd(tid int, cycle uint64) {
+	if s == nil {
+		return
+	}
+	s.ensureTrial()
+	s.events = append(s.events, event{kind: evPauseEnd, pid: s.pid, tid: int32(tid), ts: cycle})
+}
+
+// Scan records one reclamation scan's outcome — scheme name, nodes freed,
+// nodes still pinned — as an instant inside the pause that ran it.
+func (s *Sink) Scan(tid int, cycle uint64, scheme string, freed, kept int) {
+	if s == nil {
+		return
+	}
+	s.ensureTrial()
+	s.events = append(s.events, event{kind: evScan, pid: s.pid, tid: int32(tid), ts: cycle,
+		name: scheme, a: uint64(freed), b: uint64(kept)})
+}
+
+// ThreadBegin and ThreadEnd bracket a simulated thread's run on its core
+// track.
+func (s *Sink) ThreadBegin(tid int, cycle uint64) {
+	if s == nil {
+		return
+	}
+	s.ensureTrial()
+	s.events = append(s.events, event{kind: evThreadBegin, pid: s.pid, tid: int32(tid), ts: cycle})
+}
+
+// ThreadEnd closes the run opened by the matching ThreadBegin.
+func (s *Sink) ThreadEnd(tid int, cycle uint64) {
+	if s == nil {
+		return
+	}
+	s.ensureTrial()
+	s.events = append(s.events, event{kind: evThreadEnd, pid: s.pid, tid: int32(tid), ts: cycle})
+}
+
+// Phase records one workload phase as a slice on the trial's phases track.
+func (s *Sink) Phase(name string, start, end uint64) {
+	if s == nil {
+		return
+	}
+	s.ensureTrial()
+	s.events = append(s.events, event{kind: evPhase, pid: s.pid, tid: phaseTID,
+		ts: start, dur: end - start, name: name})
+}
+
+// Len returns the number of recorded events (nil-safe).
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.events)
+}
+
+// Reset drops every recorded event and trial, keeping allocations.
+func (s *Sink) Reset() {
+	if s == nil {
+		return
+	}
+	s.events = s.events[:0]
+	s.labels = s.labels[:0]
+	s.pid = 0
+}
+
+// jstr renders v as a JSON string literal (the only escaping the writer
+// needs — every other value is a number or fixed text).
+func jstr(v string) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Unreachable: marshaling a string cannot fail.
+		panic(err)
+	}
+	return string(b)
+}
+
+// WriteJSON renders the trace in Chrome trace_event JSON object format.
+// The writer is hand-rolled fmt over the fixed event vocabulary (strings
+// escaped through encoding/json), so the output is byte-deterministic:
+// same events in, same bytes out.
+func (s *Sink) WriteJSON(w io.Writer) error {
+	if s == nil {
+		_, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n")
+		return err
+	}
+	bw := &strings.Builder{}
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+
+	// Metadata first: a process_name per trial, then a thread_name for each
+	// (pid, tid) pair in order of first appearance — both derived from the
+	// event list itself, so metadata order is as deterministic as the events.
+	n := 0
+	meta := func(format string, args ...any) {
+		if n > 0 {
+			bw.WriteString(",\n")
+		}
+		fmt.Fprintf(bw, format, args...)
+		n++
+	}
+	for i, label := range s.labels {
+		if label == "" {
+			label = fmt.Sprintf("trial %d", i+1)
+		}
+		meta(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`, i+1, jstr(label))
+	}
+	seen := make(map[int64]bool, 64)
+	for _, e := range s.events {
+		key := int64(e.pid)<<32 | int64(uint32(e.tid))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		name := fmt.Sprintf("thread %d", e.tid)
+		if e.tid == phaseTID {
+			name = "phases"
+		}
+		meta(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`, e.pid, e.tid, jstr(name))
+	}
+
+	for _, e := range s.events {
+		if n > 0 {
+			bw.WriteString(",\n")
+		}
+		n++
+		switch e.kind {
+		case evOp:
+			fmt.Fprintf(bw, `{"name":%s,"cat":"op","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"attr":%s}}`,
+				jstr(e.op.String()), e.ts, e.dur, e.pid, e.tid, jstr(e.attr.String()))
+		case evRetry:
+			fmt.Fprintf(bw, `{"name":"retry","cat":"retry","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d}`,
+				e.ts, e.pid, e.tid)
+		case evPauseBegin:
+			fmt.Fprintf(bw, `{"name":"pause","cat":"smr","ph":"B","ts":%d,"pid":%d,"tid":%d}`,
+				e.ts, e.pid, e.tid)
+		case evPauseEnd:
+			fmt.Fprintf(bw, `{"name":"pause","cat":"smr","ph":"E","ts":%d,"pid":%d,"tid":%d}`,
+				e.ts, e.pid, e.tid)
+		case evScan:
+			fmt.Fprintf(bw, `{"name":"scan","cat":"smr","ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"scheme":%s,"freed":%d,"kept":%d}}`,
+				e.ts, e.pid, e.tid, jstr(e.name), e.a, e.b)
+		case evThreadBegin:
+			fmt.Fprintf(bw, `{"name":"run","cat":"sched","ph":"B","ts":%d,"pid":%d,"tid":%d}`,
+				e.ts, e.pid, e.tid)
+		case evThreadEnd:
+			fmt.Fprintf(bw, `{"name":"run","cat":"sched","ph":"E","ts":%d,"pid":%d,"tid":%d}`,
+				e.ts, e.pid, e.tid)
+		case evPhase:
+			fmt.Fprintf(bw, `{"name":%s,"cat":"phase","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d}`,
+				jstr(e.name), e.ts, e.dur, e.pid, e.tid)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	_, err := io.WriteString(w, bw.String())
+	return err
+}
+
+// WriteFile writes the trace to path (see WriteJSON).
+func (s *Sink) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"condaccess/internal/latency"
+)
+
+// TestNilSinkIsSafe pins the tracing-off contract: every hook on a nil *Sink
+// is a no-op, and a nil sink still writes a valid (empty) trace document.
+func TestNilSinkIsSafe(t *testing.T) {
+	var s *Sink
+	s.BeginTrial("x")
+	s.Op(0, latency.KindInsert, latency.AttrUseful, 1, 2)
+	s.Retry(0, 3)
+	s.PauseBegin(0, 4)
+	s.PauseEnd(0, 5)
+	s.Scan(0, 5, "rcu", 1, 2)
+	s.ThreadBegin(1, 0)
+	s.ThreadEnd(1, 9)
+	s.Phase("p", 0, 9)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Errorf("nil sink Len() = %d", s.Len())
+	}
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("nil sink output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("nil sink wrote %d events", len(doc.TraceEvents))
+	}
+}
+
+// TestNilSinkAllocFree pins the tracing-off hot path: with no sink attached
+// every hook must cost zero allocations (producers guard with one nil check
+// and these calls compile to nothing that escapes).
+func TestNilSinkAllocFree(t *testing.T) {
+	var s *Sink
+	n := testing.AllocsPerRun(200, func() {
+		s.Op(0, latency.KindInsert, latency.AttrUseful, 1, 2)
+		s.Retry(0, 3)
+		s.PauseBegin(0, 4)
+		s.PauseEnd(0, 5)
+		s.ThreadBegin(0, 0)
+		s.ThreadEnd(0, 9)
+	})
+	if n != 0 {
+		t.Errorf("nil-sink hooks allocated %.1f times per run, want 0", n)
+	}
+}
+
+// traceDoc is the subset of the Chrome trace_event format the tests check.
+type traceDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string          `json:"name"`
+		Cat  string          `json:"cat"`
+		Ph   string          `json:"ph"`
+		TS   *uint64         `json:"ts"`
+		Dur  uint64          `json:"dur"`
+		Pid  int             `json:"pid"`
+		Tid  int             `json:"tid"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func parseTrace(t *testing.T, s *Sink) traceDoc {
+	t.Helper()
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	return doc
+}
+
+func recordSample(s *Sink) {
+	s.BeginTrial("list/ca t=2")
+	s.ThreadBegin(0, 0)
+	s.Op(0, latency.KindInsert, latency.AttrUseful, 10, 25)
+	s.Retry(0, 30)
+	s.PauseBegin(0, 40)
+	s.Scan(0, 45, "rcu", 3, 1)
+	s.PauseEnd(0, 50)
+	s.Op(0, latency.KindRead, latency.AttrReclaim, 30, 55)
+	s.ThreadEnd(0, 60)
+	s.Phase("churn", 0, 60)
+	s.BeginTrial("list/ca t=2 trial 2")
+	s.Op(1, latency.KindDelete, latency.AttrRetry, 5, 9)
+}
+
+func TestWriteJSONStructure(t *testing.T) {
+	s := &Sink{}
+	recordSample(s)
+	doc := parseTrace(t, s)
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	byPh := map[string]int{}
+	byCat := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		byPh[e.Ph]++
+		if e.Cat != "" {
+			byCat[e.Cat]++
+		}
+		if e.Ph != "M" && e.TS == nil {
+			t.Errorf("event %q has no ts", e.Name)
+		}
+	}
+	// 2 process_name + 3 thread_name (trial1 core0, trial1 phases, trial2
+	// core1) metadata records.
+	if byPh["M"] != 5 {
+		t.Errorf("metadata events = %d, want 5", byPh["M"])
+	}
+	if byCat["op"] != 3 {
+		t.Errorf("op events = %d, want 3", byCat["op"])
+	}
+	if byCat["smr"] != 3 { // pause B, pause E, scan
+		t.Errorf("smr events = %d, want 3", byCat["smr"])
+	}
+	if byCat["phase"] != 1 || byCat["retry"] != 1 || byCat["sched"] != 2 {
+		t.Errorf("cats = %v", byCat)
+	}
+
+	// The op slice carries kind as name, attribution in args, and the span.
+	var op *struct {
+		Name string          `json:"name"`
+		Cat  string          `json:"cat"`
+		Ph   string          `json:"ph"`
+		TS   *uint64         `json:"ts"`
+		Dur  uint64          `json:"dur"`
+		Pid  int             `json:"pid"`
+		Tid  int             `json:"tid"`
+		Args json.RawMessage `json:"args"`
+	}
+	for i := range doc.TraceEvents {
+		if doc.TraceEvents[i].Cat == "op" {
+			op = &doc.TraceEvents[i]
+			break
+		}
+	}
+	if op == nil {
+		t.Fatal("no op event")
+	}
+	if op.Name != "insert" || op.Ph != "X" || *op.TS != 10 || op.Dur != 15 || op.Pid != 1 || op.Tid != 0 {
+		t.Errorf("op event = %+v", op)
+	}
+	var args struct {
+		Attr string `json:"attr"`
+	}
+	if err := json.Unmarshal(op.Args, &args); err != nil || args.Attr != "useful" {
+		t.Errorf("op args = %s (err %v)", op.Args, err)
+	}
+
+	// The second trial's events land on pid 2.
+	last := doc.TraceEvents[len(doc.TraceEvents)-1]
+	if last.Pid != 2 || last.Name != "delete" {
+		t.Errorf("second trial event = %+v", last)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	render := func() string {
+		s := &Sink{}
+		recordSample(s)
+		var sb strings.Builder
+		if err := s.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Error("two renders of the same events differ")
+	}
+}
+
+func TestWriteJSONEscapesNames(t *testing.T) {
+	s := &Sink{}
+	s.BeginTrial(`quote " backslash \ newline` + "\n")
+	s.Phase(`ph"ase`, 0, 1)
+	doc := parseTrace(t, s) // json.Unmarshal fails if escaping is broken
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Cat == "phase" && e.Name == `ph"ase` {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("escaped phase name did not round-trip")
+	}
+}
+
+func TestSinkLazyTrialAndReset(t *testing.T) {
+	s := &Sink{}
+	// An event before any BeginTrial opens trial 1 implicitly.
+	s.Op(0, latency.KindRead, latency.AttrUseful, 0, 1)
+	doc := parseTrace(t, s)
+	var procName string
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			var args struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(e.Args, &args); err != nil {
+				t.Fatal(err)
+			}
+			procName = args.Name
+		}
+	}
+	if procName != "trial 1" {
+		t.Errorf("implicit trial label = %q, want \"trial 1\"", procName)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", s.Len())
+	}
+
+	s.Reset()
+	if s.Len() != 0 {
+		t.Errorf("Len() after Reset = %d", s.Len())
+	}
+	s.BeginTrial("fresh")
+	s.Op(0, latency.KindRead, latency.AttrUseful, 0, 1)
+	doc = parseTrace(t, s)
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" && e.Pid != 1 {
+			t.Errorf("post-Reset event on pid %d, want 1", e.Pid)
+		}
+	}
+}
+
+func TestPhaseRendersOnPhasesTrack(t *testing.T) {
+	s := &Sink{}
+	s.BeginTrial("t")
+	s.Phase("warm", 0, 100)
+	doc := parseTrace(t, s)
+	named := false
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" && e.Tid == phaseTID {
+			var args struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(e.Args, &args); err != nil || args.Name != "phases" {
+				t.Errorf("phases track named %q (err %v)", args.Name, err)
+			}
+			named = true
+		}
+		if e.Cat == "phase" && e.Tid != phaseTID {
+			t.Errorf("phase event on tid %d, want %d", e.Tid, phaseTID)
+		}
+	}
+	if !named {
+		t.Error("no thread_name metadata for the phases track")
+	}
+}
