@@ -41,6 +41,14 @@ type options struct {
 	timeline  bool
 	tracePath string
 	obs       obs.CLIFlags
+
+	// shardIdx/shardOf select worker mode (-shard I/N): run only this
+	// shard's jobs into the store, render no table. shardOf == 0 means
+	// unsharded.
+	shardIdx, shardOf int
+	// farm selects coordinator mode (-farm N): spawn N worker processes,
+	// merge their shard stores, then render the sweep warm.
+	farm int
 }
 
 // reportedError marks an error the flag package has already printed to
@@ -76,6 +84,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		tline   = fs.Bool("timeline", false, "record and print windowed sim-time metric timelines per point")
 		tlWin   = fs.Uint64("timeline-window", 0, "timeline window size in simulated cycles (0: default)")
 		trPath  = fs.String("trace", "", "write a Chrome trace_event JSON file of every simulated trial (forces -workers 1)")
+		shard   = fs.String("shard", "", "worker mode: run only shard I/N of the sweep's job list into -store, render no table")
+		farm    = fs.Int("farm", 0, "coordinator mode: spawn N worker processes over private shard stores, merge into -store, render warm")
 	)
 	var ob obs.CLIFlags
 	ob.Register(fs)
@@ -105,6 +115,30 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		// recording trials in sweep order.
 		wk = 1
 	}
+	shardIdx, shardOf := 0, 0
+	if *shard != "" {
+		var err error
+		if shardIdx, shardOf, err = parseShard(*shard); err != nil {
+			return options{}, err
+		}
+	}
+	// Farm-mode plumbing: both modes fill a store (that is the whole point),
+	// and neither composes with tracing, which needs one sequential process.
+	if shardOf > 0 && *farm > 0 {
+		return options{}, errors.New("pick one of -shard (worker) and -farm (coordinator)")
+	}
+	if (shardOf > 0 || *farm > 0) && *store == "" {
+		return options{}, errors.New("-shard and -farm require -store")
+	}
+	if (shardOf > 0 || *farm > 0) && *trPath != "" {
+		return options{}, errors.New("-trace needs a single sequential process; drop -shard/-farm")
+	}
+	if shardOf > 0 && *csvPath != "" {
+		return options{}, errors.New("-shard renders no sweep output; ask the coordinator (or a warm re-run) for -csv")
+	}
+	if *farm < 0 {
+		return options{}, fmt.Errorf("-farm %d must be non-negative", *farm)
+	}
 	return options{
 		cfg: bench.SweepConfig{
 			DS:       *ds,
@@ -123,7 +157,24 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 		timeline:  *tline,
 		tracePath: *trPath,
 		obs:       ob,
+		shardIdx:  shardIdx,
+		shardOf:   shardOf,
+		farm:      *farm,
 	}, nil
+}
+
+// parseShard parses "I/N" into a 0-based shard index and shard count.
+func parseShard(s string) (idx, of int, err error) {
+	i, n, ok := strings.Cut(s, "/")
+	if ok {
+		if idx, err = strconv.Atoi(i); err == nil {
+			of, err = strconv.Atoi(n)
+		}
+	}
+	if !ok || err != nil || of < 1 || idx < 0 || idx >= of {
+		return 0, 0, fmt.Errorf("-shard %q: want I/N with 0 <= I < N", s)
+	}
+	return idx, of, nil
 }
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -158,7 +209,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "cabench:", err)
 		return 1
 	}
-	err = sweep(opt, sess.Rec, stdout, stderr)
+	switch {
+	case opt.shardOf > 0:
+		err = shardRun(opt, sess.Rec, stdout, stderr)
+	case opt.farm > 0:
+		err = farmRun(opt, sess.Rec, stdout, stderr)
+	default:
+		err = sweep(opt, sess.Rec, stdout, stderr)
+	}
 	// A session teardown failure (manifest write, profile flush) only
 	// surfaces when the run itself succeeded; the run's error is primary.
 	if cerr := sess.Close(err); err == nil {
@@ -174,18 +232,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 // sweep executes the parsed sweep and renders every output. Observability
 // (rec may be nil) is out-of-band: stdout is byte-identical with or without
 // it.
-func sweep(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
+func sweep(opt options, rec *obs.Rec, stdout, stderr io.Writer) (err error) {
 	cfg := opt.cfg
 	cfg.Obs = rec
 	var store *lab.Store
 	if opt.storePath != "" {
-		st, err := lab.Open(opt.storePath)
-		if err != nil {
-			return err
+		st, oerr := lab.Open(opt.storePath)
+		if oerr != nil {
+			return oerr
 		}
 		store = st
 		store.OnFlush = rec.StoreFlushed
 		cfg.Store = st
+		// Close always runs — a failed sweep must not lose the batched
+		// segment writes of the trials that did complete. First error wins;
+		// the success-only stats line keeps the one-line failure contract.
+		defer func() {
+			if cerr := store.Close(); err == nil {
+				err = cerr
+			}
+			rec.SetStore(store.Stats().Rollup())
+			if err == nil {
+				fmt.Fprintln(stderr, store.Stats())
+			}
+		}()
 	}
 	var sink *trace.Sink
 	if opt.tracePath != "" {
@@ -217,15 +287,6 @@ func sweep(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stderr, "trace: %d events -> %s\n", sink.Len(), opt.tracePath)
-	}
-	if store != nil {
-		// Close flushes the store's batched segment writes and persists its
-		// index sidecar; results are not durable before it returns.
-		if err := store.Close(); err != nil {
-			return err
-		}
-		rec.SetStore(store.Stats().Rollup())
-		fmt.Fprintln(stderr, store.Stats())
 	}
 	for _, u := range cfg.Updates {
 		fmt.Fprintf(stdout, "== %s, %d%% updates (%di-%dd), %d keys, %d ops/thread [ops/Mcyc] ==\n",

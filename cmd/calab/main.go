@@ -9,6 +9,7 @@
 //	calab verify -store DIR             # integrity: content addresses and payload fingerprints
 //	calab pack -store DIR               # convert loose objects/ entries into packed segments
 //	calab index -store DIR              # rebuild the segment sidecar index by scanning segments
+//	calab merge SRC... DST              # fold shard stores into DST (per-key dedup, one engine tag)
 //	calab runs -store DIR               # list the run manifests under DIR/runs
 //	calab runs -run ID -store DIR       # inspect one run's manifest (or -run PATH)
 //	calab runs -a X -b Y [-store DIR]   # A/B two runs' timing rollups
@@ -37,7 +38,8 @@ import (
 // options is the parsed command line.
 type options struct {
 	cmd     string
-	store   string // inspect, gc, export, verify; optional for runs
+	store   string // inspect, gc, export, verify; optional for runs; merge destination
+	srcs    []string
 	a, b    string // diff, runs
 	all     bool   // gc
 	csvPath string // export; empty writes to stdout
@@ -52,7 +54,7 @@ type reportedError struct{ err error }
 func (e reportedError) Error() string { return e.err.Error() }
 func (e reportedError) Unwrap() error { return e.err }
 
-const usageText = "usage: calab <inspect|diff|gc|export|verify|pack|index|runs> [flags]\n"
+const usageText = "usage: calab <inspect|diff|gc|export|verify|pack|index|merge|runs> [flags]\n"
 
 // parseArgs parses the subcommand and its flag set. Split out of main for
 // testability.
@@ -76,6 +78,8 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	case "export":
 		store = storeFlag()
 		csvPath = fs.String("csv", "", "write CSV here instead of stdout")
+	case "merge":
+		// Positional: calab merge SRC... DST. Validated after fs.Parse.
 	case "diff":
 		a = fs.String("a", "", "baseline store directory (required)")
 		b = fs.String("b", "", "candidate store directory (required)")
@@ -96,6 +100,13 @@ func parseArgs(args []string, stderr io.Writer) (options, error) {
 	opt.prof.Register(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return options{}, reportedError{err}
+	}
+	if opt.cmd == "merge" {
+		args := fs.Args()
+		if len(args) < 2 {
+			return options{}, errors.New("merge: need at least one SRC and a DST (calab merge SRC... DST)")
+		}
+		opt.srcs, opt.store = args[:len(args)-1], args[len(args)-1]
 	}
 	if store != nil {
 		if *store == "" && opt.cmd != "runs" {
@@ -179,6 +190,8 @@ func run(opt options, out io.Writer) error {
 		return pack(opt.store, out)
 	case "index":
 		return index(opt.store, out)
+	case "merge":
+		return merge(opt.srcs, opt.store, out)
 	}
 	return fmt.Errorf("unknown subcommand %q", opt.cmd)
 }
@@ -294,6 +307,34 @@ func index(dir string, out io.Writer) (err error) {
 		return err
 	}
 	fmt.Fprintf(out, "indexed %d entries across %d segments\n", entries, segments)
+	return nil
+}
+
+// merge folds each SRC store into DST: per-key dedup (content-addressed
+// entries cannot conflict), engine-tag mismatch refusal, packed and loose
+// sources alike. Sources must already exist; the destination is created on
+// demand, so merging shard stores into a fresh main store just works.
+func merge(srcDirs []string, dstDir string, out io.Writer) (err error) {
+	dst, err := lab.Open(dstDir)
+	if err != nil {
+		return err
+	}
+	defer closing(dst, &err)
+	var srcs []*lab.Store
+	for _, dir := range srcDirs {
+		src, err := lab.OpenExisting(dir)
+		if err != nil {
+			return err
+		}
+		defer closing(src, &err)
+		srcs = append(srcs, src)
+	}
+	stats, err := lab.Merge(dst, srcs...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "merged %d entries from %d sources into %s (%d already present)\n",
+		stats.Added, len(srcDirs), dstDir, stats.Skipped)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -28,6 +29,8 @@ func TestParseArgsSubcommands(t *testing.T) {
 		{[]string{"diff", "-a", "x", "-b", "y"}, options{cmd: "diff", a: "x", b: "y"}},
 		{[]string{"pack", "-store", "d"}, options{cmd: "pack", store: "d"}},
 		{[]string{"index", "-store", "d"}, options{cmd: "index", store: "d"}},
+		{[]string{"merge", "s1", "dst"}, options{cmd: "merge", srcs: []string{"s1"}, store: "dst"}},
+		{[]string{"merge", "s1", "s2", "dst"}, options{cmd: "merge", srcs: []string{"s1", "s2"}, store: "dst"}},
 	}
 	for _, tc := range cases {
 		opt, err := parseArgs(tc.args, io.Discard)
@@ -35,7 +38,7 @@ func TestParseArgsSubcommands(t *testing.T) {
 			t.Errorf("%v: %v", tc.args, err)
 			continue
 		}
-		if opt != tc.want {
+		if !reflect.DeepEqual(opt, tc.want) {
 			t.Errorf("%v: parsed %+v, want %+v", tc.args, opt, tc.want)
 		}
 	}
@@ -51,6 +54,8 @@ func TestParseArgsErrors(t *testing.T) {
 		{"diff", "-b", "y"},        // missing -a
 		{"pack"},                   // missing -store
 		{"index"},                  // missing -store
+		{"merge"},                  // no stores at all
+		{"merge", "onlydst"},       // no sources
 		{"inspect", "-nosuchflag"}, // flag error
 	}
 	for _, args := range cases {
@@ -200,6 +205,62 @@ func TestPackAndIndexEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "2 trial + 0 scenario") {
 		t.Errorf("inspect output after pack: %s", out.String())
+	}
+}
+
+// TestMergeEndToEnd: two shard stores with an overlapping entry fold into a
+// fresh destination; the merged store serves every entry, and a missing
+// source is an error rather than a silently created empty store.
+func TestMergeEndToEnd(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	fill := func(dir string, seed uint64) {
+		st, err := lab.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bench.Sweep(bench.SweepConfig{
+			DS: "list", Schemes: []string{"ca"}, Threads: []int{2}, Updates: []int{100},
+			KeyRange: 32, Ops: 50, Seed: seed, Trials: 2, Store: st,
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fill(dirA, 9)
+	fill(dirB, 9)  // same grid: fully overlapping with dirA
+	fill(dirB, 10) // plus two entries dirA lacks
+
+	dst := filepath.Join(t.TempDir(), "main")
+	var out strings.Builder
+	if err := run(options{cmd: "merge", srcs: []string{dirA, dirB}, store: dst}, &out); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !strings.Contains(out.String(), "merged 4 entries from 2 sources into "+dst+" (2 already present)") {
+		t.Errorf("merge output: %s", out.String())
+	}
+
+	out.Reset()
+	if err := run(options{cmd: "inspect", store: dst}, &out); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if !strings.Contains(out.String(), "4 trial + 0 scenario") {
+		t.Errorf("merged store inspect: %s", out.String())
+	}
+
+	// Merge is idempotent: a second run copies nothing.
+	out.Reset()
+	if err := run(options{cmd: "merge", srcs: []string{dirA, dirB}, store: dst}, &out); err != nil {
+		t.Fatalf("re-merge: %v", err)
+	}
+	if !strings.Contains(out.String(), "merged 0 entries from 2 sources into "+dst+" (6 already present)") {
+		t.Errorf("re-merge output: %s", out.String())
+	}
+
+	missing := filepath.Join(t.TempDir(), "nosuchstore")
+	if err := run(options{cmd: "merge", srcs: []string{missing}, store: dst}, io.Discard); err == nil {
+		t.Error("merge accepted a missing source store")
 	}
 }
 

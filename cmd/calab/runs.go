@@ -100,6 +100,17 @@ func printManifest(out io.Writer, m obs.Manifest) {
 			s.Hits, s.Misses, s.Puts, s.Flushes, s.BytesWritten,
 			dur(s.FlushNanos), dur(s.FsyncNanos), dur(s.IndexLoadNanos))
 	}
+	if len(m.Shards) > 0 {
+		fmt.Fprintln(out, "  shards:")
+		for _, s := range m.Shards {
+			fmt.Fprintf(out, "    s%-3d trials %5d, warm %5d, wall %s, simulate %s (run %s)",
+				s.Shard, s.Trials, s.Warm, dur(s.WallNanos), dur(s.SimulateNanos), s.RunID)
+			if s.Error != "" {
+				fmt.Fprintf(out, " error %s", s.Error)
+			}
+			fmt.Fprintln(out)
+		}
+	}
 	if len(m.Workers) > 0 {
 		fmt.Fprintln(out, "  workers:")
 		for _, w := range m.Workers {

@@ -131,30 +131,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // footprint runs the per-scheme workloads and renders the Figure 3 table
 // (and CSV). Observability (rec may be nil) is out-of-band.
-func footprint(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
+func footprint(opt options, rec *obs.Rec, stdout, stderr io.Writer) (err error) {
 	var store *lab.Store
 	var trialStore bench.TrialStore // typed nil must stay an untyped nil interface
 	if opt.storePath != "" {
-		st, err := lab.Open(opt.storePath)
-		if err != nil {
-			return err
+		st, oerr := lab.Open(opt.storePath)
+		if oerr != nil {
+			return oerr
 		}
 		store = st
 		store.OnFlush = rec.StoreFlushed
 		trialStore = store
+		// Close always runs — a failed run must not lose the batched segment
+		// writes of the trials that did complete. First error wins; the
+		// success-only stats line keeps the one-line failure contract.
+		defer func() {
+			if cerr := store.Close(); err == nil {
+				err = cerr
+			}
+			rec.SetStore(store.Stats().Rollup())
+			if err == nil {
+				fmt.Fprintln(stderr, store.Stats())
+			}
+		}()
 	}
 	results, err := bench.RunManyObserved(opt.ws, opt.workers, trialStore, rec)
 	if err != nil {
 		return err
-	}
-	if store != nil {
-		// Close flushes the store's batched segment writes and persists its
-		// index sidecar; results are not durable before it returns.
-		if err := store.Close(); err != nil {
-			return err
-		}
-		rec.SetStore(store.Stats().Rollup())
-		fmt.Fprintln(stderr, store.Stats())
 	}
 	names := opt.schemes
 	series := map[string]map[int]uint64{}

@@ -191,17 +191,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runScenarios executes one scenario trial per scheme, each declared as one
 // observability point (rec may be nil).
-func runScenarios(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
+func runScenarios(opt options, rec *obs.Rec, stdout, stderr io.Writer) (err error) {
 	var runner bench.Runner
 	var store *lab.Store
 	if opt.storePath != "" {
-		st, err := lab.Open(opt.storePath)
-		if err != nil {
-			return err
+		st, oerr := lab.Open(opt.storePath)
+		if oerr != nil {
+			return oerr
 		}
 		store = st
 		store.OnFlush = rec.StoreFlushed
 		runner.Store = st
+		// Close always runs — a failed run must not lose the batched segment
+		// writes of the trials that did complete. First error wins; the
+		// success-only stats line keeps the one-line failure contract.
+		defer func() {
+			if cerr := store.Close(); err == nil {
+				err = cerr
+			}
+			rec.SetStore(store.Stats().Rollup())
+			if err == nil {
+				fmt.Fprintln(stderr, store.Stats())
+			}
+		}()
 	}
 	runner.Obs = rec.Worker(0)
 	var sink *trace.Sink
@@ -241,15 +253,6 @@ func runScenarios(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stderr, "trace: %d events -> %s\n", sink.Len(), opt.tracePath)
-	}
-	if store != nil {
-		// Close flushes the store's batched segment writes and persists its
-		// index sidecar; results are not durable before it returns.
-		if err := store.Close(); err != nil {
-			return err
-		}
-		rec.SetStore(store.Stats().Rollup())
-		fmt.Fprintln(stderr, store.Stats())
 	}
 	return nil
 }

@@ -289,6 +289,28 @@ func TestRunFailureModes(t *testing.T) {
 	}
 }
 
+// TestFailedRunKeepsCompletedTrials pins the durability fix: a run that
+// fails partway (unknown scheme after a completed one) must still flush the
+// completed trial on Close, so a re-run of the good scheme is warm.
+func TestFailedRunKeepsCompletedTrials(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "store")
+	var out, errb strings.Builder
+	code := run([]string{"-preset", "read-burst", "-schemes", "ca,bogus", "-threads", "2", "-store", store}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run with unknown scheme exited %d, want 1 (stderr %q)", code, errb.String())
+	}
+	if got := errb.String(); strings.Count(got, "\n") != 1 || !strings.HasPrefix(got, "cascenario: ") {
+		t.Errorf("failure stderr is not exactly one cascenario line:\n%s", got)
+	}
+	var wout, werr strings.Builder
+	if code := run([]string{"-preset", "read-burst", "-schemes", "ca", "-threads", "2", "-store", store}, &wout, &werr); code != 0 {
+		t.Fatalf("warm re-run failed (%d): %s", code, werr.String())
+	}
+	if !strings.Contains(werr.String(), "store: 1 hits, 0 misses (100% warm)") {
+		t.Errorf("completed trial was lost on failure:\n%s", werr.String())
+	}
+}
+
 // TestVersionFlag pins the shared -version contract: exit 0, one stdout
 // line naming the tool and engine tag, nothing on stderr.
 func TestVersionFlag(t *testing.T) {

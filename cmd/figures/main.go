@@ -161,18 +161,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // figures runs the selected figure jobs. Observability (rec may be nil) is
 // out-of-band: stdout is byte-identical with or without it.
-func figures(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
+func figures(opt options, rec *obs.Rec, stdout, stderr io.Writer) (err error) {
 	g := opt.g
 	g.rec = rec
 	var store *lab.Store
 	if opt.storePath != "" {
-		st, err := lab.Open(opt.storePath)
-		if err != nil {
-			return err
+		st, oerr := lab.Open(opt.storePath)
+		if oerr != nil {
+			return oerr
 		}
 		store = st
 		store.OnFlush = rec.StoreFlushed
 		g.store = store
+		// Close always runs — a failed figure job must not lose the batched
+		// segment writes of the trials that did complete. First error wins;
+		// the success-only stats line keeps the one-line failure contract.
+		defer func() {
+			if cerr := store.Close(); err == nil {
+				err = cerr
+			}
+			rec.SetStore(store.Stats().Rollup())
+			if err == nil {
+				fmt.Fprintln(stderr, store.Stats())
+			}
+		}()
 	}
 	if err := os.MkdirAll(g.out, 0o755); err != nil {
 		return err
@@ -201,15 +213,6 @@ func figures(opt options, rec *obs.Rec, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "### %s done in %v\n\n", name, time.Since(start).Round(time.Second))
-	}
-	if store != nil {
-		// Close flushes the store's batched segment writes and persists its
-		// index sidecar; results are not durable before it returns.
-		if err := store.Close(); err != nil {
-			return err
-		}
-		rec.SetStore(store.Stats().Rollup())
-		fmt.Fprintln(stderr, store.Stats())
 	}
 	return nil
 }

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+func shardCfg() SweepConfig {
+	return SweepConfig{
+		DS: "list", Schemes: []string{"ca", "lock"}, Threads: []int{1, 2, 4},
+		Updates: []int{10, 100}, KeyRange: 64, Ops: 30, Seed: 5, Trials: 3,
+	}
+}
+
+// flatJobs reproduces the canonical job order by sharding 1-of-1.
+func flatJobs(t *testing.T, cfg SweepConfig) []Workload {
+	t.Helper()
+	ws, err := ShardWorkloads(cfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+// TestShardWorkloadsPartition: every job lands in exactly one shard, and
+// interleaving the shards by job index reproduces the canonical flat order.
+func TestShardWorkloadsPartition(t *testing.T) {
+	cfg := shardCfg()
+	all := flatJobs(t, cfg)
+	want := len(cfg.Schemes) * len(cfg.Threads) * len(cfg.Updates) * cfg.Trials
+	if len(all) != want {
+		t.Fatalf("flat job list has %d entries, want %d", len(all), want)
+	}
+	for _, of := range []int{2, 3, 5, len(all), len(all) + 7} {
+		shards := make([][]Workload, of)
+		total := 0
+		for i := range shards {
+			ws, err := ShardWorkloads(cfg, i, of)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards[i] = ws
+			total += len(ws)
+		}
+		if total != len(all) {
+			t.Fatalf("of=%d: shards hold %d jobs total, want %d", of, total, len(all))
+		}
+		// Re-interleave: job j came from shard j%of, position j/of.
+		for j, w := range all {
+			got := shards[j%of][j/of]
+			if !reflect.DeepEqual(got, w) {
+				t.Fatalf("of=%d job %d: shard copy %+v differs from flat order %+v", of, j, got, w)
+			}
+		}
+	}
+}
+
+// TestShardWorkloadsMatchSweepOrder: the flat job list is exactly the
+// (point, trial) order the sweep paths execute — update rate outermost, then
+// scheme, then threads, trials innermost, with the sweep's seed derivation.
+func TestShardWorkloadsMatchSweepOrder(t *testing.T) {
+	cfg := shardCfg()
+	all := flatJobs(t, cfg)
+	i := 0
+	for _, u := range cfg.Updates {
+		for _, scheme := range cfg.Schemes {
+			for _, th := range cfg.Threads {
+				for trial := 0; trial < cfg.Trials; trial++ {
+					w := all[i]
+					if w.Scheme != scheme || w.Threads != th || w.UpdatePct != u {
+						t.Fatalf("job %d is %s t=%d u=%d, want %s t=%d u=%d",
+							i, w.Scheme, w.Threads, w.UpdatePct, scheme, th, u)
+					}
+					if wantSeed := cfg.Seed + uint64(trial)*1000003; w.Seed != wantSeed {
+						t.Fatalf("job %d seed %d, want %d", i, w.Seed, wantSeed)
+					}
+					i++
+				}
+			}
+		}
+	}
+}
+
+// TestShardWorkloadsValidation: malformed configs and out-of-range shard
+// coordinates are rejected up front.
+func TestShardWorkloadsValidation(t *testing.T) {
+	cfg := shardCfg()
+	for _, tc := range []struct{ shard, of int }{{0, 0}, {-1, 2}, {2, 2}, {5, 2}} {
+		if _, err := ShardWorkloads(cfg, tc.shard, tc.of); err == nil {
+			t.Errorf("shard %d/%d accepted", tc.shard, tc.of)
+		}
+	}
+	bad := cfg
+	bad.Schemes = nil
+	if _, err := ShardWorkloads(bad, 0, 2); err == nil {
+		t.Error("config without schemes accepted")
+	}
+	bad = cfg
+	bad.Trials = -1
+	if _, err := ShardWorkloads(bad, 0, 2); err == nil {
+		t.Error("negative trials accepted")
+	}
+}

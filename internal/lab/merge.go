@@ -1,0 +1,201 @@
+// Store merging: the pull side of the experiment farm. Sharded sweeps run
+// each shard against a private store; Merge folds those shard stores into
+// one, after which a warm re-run of the full sweep against the merged store
+// executes zero simulator trials. Entries are content-addressed, so merging
+// is pure set union with per-key dedup — two stores can never disagree about
+// a key's value (same engine tag + same spec => same serialized result), and
+// re-merging is idempotent.
+package lab
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// MergeStats reports one Merge call's traffic.
+type MergeStats struct {
+	// Added counts entries copied into the destination; Skipped counts
+	// source entries the destination already held (per-key dedup).
+	Added, Skipped int
+}
+
+// Merge copies every sound entry of the src stores into dst, skipping keys
+// dst already holds. Sources may be packed, loose, or mixed-layout; copied
+// entries always land on dst's packed write path (the caller's Close makes
+// them durable and persists the index sidecar).
+//
+// Engine-tag discipline mirrors SnapshotCells: a source that mixes engine
+// versions is refused, and a source whose tag differs from the destination's
+// entries (or from an earlier source, when the destination starts empty) is
+// refused — merging across engine versions would build a store that every
+// single-tag consumer (diff, inspect statistics) then rejects. Corrupt
+// source entries are skipped, like every whole-store read; Verify on the
+// source reports them.
+func Merge(dst *Store, srcs ...*Store) (MergeStats, error) {
+	var stats MergeStats
+	dstTag, err := soleTag(dst)
+	if err != nil {
+		return stats, fmt.Errorf("lab: merge destination %s: %w", dst.Dir(), err)
+	}
+	for _, src := range srcs {
+		srcTag, err := soleTag(src)
+		if err != nil {
+			return stats, fmt.Errorf("lab: merge source %s: %w", src.Dir(), err)
+		}
+		if srcTag == "" {
+			continue // empty source
+		}
+		if dstTag != "" && srcTag != dstTag {
+			return stats, fmt.Errorf("lab: merge source %s has engine tag %s, destination %s holds %s; one store per engine version (calab gc drops foreign entries)",
+				src.Dir(), srcTag, dst.Dir(), dstTag)
+		}
+		dstTag = srcTag
+		err = src.forEachPayload(func(key string, payload []byte) error {
+			if dst.has(key) {
+				stats.Skipped++
+				return nil
+			}
+			if err := dst.putPayload(key, payload); err != nil {
+				return err
+			}
+			stats.Added++
+			return nil
+		})
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// soleTag returns the single engine tag of every sound entry in s ("" for an
+// empty store), or an error when entries from several engine versions
+// coexist — the SnapshotCells refusal, reused by Merge.
+func soleTag(s *Store) (string, error) {
+	tags := map[string]int{}
+	err := s.forEachPayload(func(key string, payload []byte) error {
+		env, verr := verifyPayload(key, payload)
+		if verr == nil {
+			tags[env.Tag]++
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	if len(tags) > 1 {
+		return "", fmt.Errorf("mixes %d engine versions %v", len(tags), tags)
+	}
+	for tag := range tags {
+		return tag, nil
+	}
+	return "", nil
+}
+
+// forEachPayload visits every sound entry's raw envelope payload across both
+// layouts, packed index winners first, then loose files the index does not
+// shadow — in deterministic (sorted key) order per layout. It flushes and
+// refreshes first, so it sees every durable record. Corrupt entries are
+// skipped.
+func (s *Store) forEachPayload(fn func(key string, payload []byte) error) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if err := s.refresh(); err != nil {
+		return err
+	}
+	packed := map[string]bool{}
+	for _, key := range s.indexKeys() {
+		s.mu.RLock()
+		loc, ok := s.index[key]
+		s.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		payload, err := s.readRecord(loc)
+		if err != nil {
+			continue
+		}
+		if _, verr := verifyPayload(key, payload); verr != nil {
+			continue
+		}
+		packed[key] = true
+		if err := fn(key, payload); err != nil {
+			return err
+		}
+	}
+	return s.walk(func(path string) error {
+		key := strings.TrimSuffix(filepath.Base(path), ".json")
+		if packed[key] {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil
+		}
+		s.opens.Add(1)
+		payload := []byte(strings.TrimSpace(string(data)))
+		if _, verr := verifyPayload(key, payload); verr != nil {
+			return nil
+		}
+		return fn(key, payload)
+	})
+}
+
+// has reports whether key is currently served by this handle: buffered in
+// the pending overlay, indexed in a packed segment, or present as a loose
+// file.
+func (s *Store) has(key string) bool {
+	s.mu.RLock()
+	_, pending := s.pending[key]
+	_, indexed := s.index[key]
+	s.mu.RUnlock()
+	if pending || indexed {
+		return true
+	}
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
+// putPayload writes one envelope payload under its content key, through the
+// handle's usual write path (packed append buffers, or a loose object file
+// on an OpenLoose handle). Both putKey and Merge land here. A failed packed
+// append drops the record from the pending overlay, so this handle cannot
+// serve an entry that will never be durable.
+func (s *Store) putPayload(key string, payload []byte) error {
+	if s.loose {
+		if err := s.putLoose(key, payload); err != nil {
+			return err
+		}
+		s.puts.Add(1)
+		return nil
+	}
+	s.mu.Lock()
+	s.pending[key] = payload
+	s.mu.Unlock()
+	if err := s.writer(key).append(key, payload); err != nil {
+		s.mu.Lock()
+		delete(s.pending, key)
+		s.mu.Unlock()
+		return err
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Keys returns the content keys of every sound entry in the store, sorted.
+func (s *Store) Keys() ([]string, error) {
+	var keys []string
+	err := s.forEachPayload(func(key string, _ []byte) error {
+		keys = append(keys, key)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

@@ -49,10 +49,16 @@ import (
 const (
 	recHeaderLen = 8
 	recKeyLen    = 32
-	// maxRecordLen bounds a frame's claimed size; a corrupt length field
-	// must not provoke a giant allocation.
-	maxRecordLen = 1 << 30
 )
+
+// maxRecordLen bounds a frame's body size on both sides of the format: the
+// scan side caps a corrupt length field before it can provoke a giant
+// allocation, and the write side (frameRecord) refuses to produce a frame the
+// scan side would reject — an oversized record silently written would poison
+// every later record in its segment, because index rebuilds stop at the
+// first bad frame. A variable (not a const) so tests can shrink the bound
+// without allocating gigabytes.
+var maxRecordLen = 1 << 30
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -92,6 +98,9 @@ func frameRecord(dst []byte, key string, payload []byte) ([]byte, error) {
 		return dst, fmt.Errorf("lab: malformed content key %q", key)
 	}
 	n := recKeyLen + len(payload)
+	if n > maxRecordLen {
+		return dst, fmt.Errorf("lab: record payload is %d bytes, over the %d-byte frame limit", len(payload), maxRecordLen-recKeyLen)
+	}
 	var hdr [recHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
 	crc := crc32.Update(0, crcTable, kb)

@@ -540,3 +540,68 @@ func TestFlushCountersAccumulate(t *testing.T) {
 		t.Errorf("Rollup diverges from Stats: %+v vs %+v", roll, s)
 	}
 }
+
+// TestOversizedRecordRejectedAtWriteTime: frameRecord enforces the same
+// length bound the scan side does. Without the write-side check, one
+// oversized payload is silently framed, then poisons every later record in
+// its segment on index rebuild (scans stop at the first bad frame). The put
+// must fail loudly, leave no phantom entry in the pending overlay, and leave
+// the segment cleanly scannable for the records around it.
+func TestOversizedRecordRejectedAtWriteTime(t *testing.T) {
+	old := maxRecordLen
+	maxRecordLen = 4096
+	t.Cleanup(func() { maxRecordLen = old })
+
+	// frameRecord itself refuses the oversized payload.
+	key := strings.Repeat("ab", 32)
+	if _, err := frameRecord(nil, key, make([]byte, 8192)); err == nil || !strings.Contains(err.Error(), "frame limit") {
+		t.Fatalf("frameRecord(oversized) err = %v, want frame-limit error", err)
+	}
+
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.StoreTrial(trialW(1), bench.Result{Throughput: 1}); err != nil {
+		t.Fatal(err)
+	}
+	big := trialW(2)
+	big.DS = "list" + strings.Repeat("x", 8192)
+	if err := st.StoreTrial(big, bench.Result{}); err == nil || !strings.Contains(err.Error(), "frame limit") {
+		t.Fatalf("StoreTrial(oversized) err = %v, want frame-limit error", err)
+	}
+	if _, ok := st.LookupTrial(big); ok {
+		t.Fatal("rejected oversized entry still served from the pending overlay")
+	}
+	if err := st.StoreTrial(trialW(3), bench.Result{Throughput: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: both small records survive, the segment verifies clean end to
+	// end (no poisoned tail), and the oversized spec is still a miss.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, ok := st2.LookupTrial(trialW(1)); !ok {
+		t.Error("record before the rejected put is gone")
+	}
+	if _, ok := st2.LookupTrial(trialW(3)); !ok {
+		t.Error("record after the rejected put is gone")
+	}
+	if _, ok := st2.LookupTrial(big); ok {
+		t.Error("oversized entry present after reopen")
+	}
+	sound, problems, err := st2.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sound != 2 || len(problems) != 0 {
+		t.Errorf("Verify = %d sound, %v problems; want 2 sound, none", sound, problems)
+	}
+}

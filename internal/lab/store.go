@@ -328,21 +328,7 @@ func (s *Store) putKey(kind string, spec []byte, key string, res any) error {
 	if err != nil {
 		return fmt.Errorf("lab: encoding entry: %w", err)
 	}
-	if s.loose {
-		if err := s.putLoose(key, data); err != nil {
-			return err
-		}
-		s.puts.Add(1)
-		return nil
-	}
-	s.mu.Lock()
-	s.pending[key] = data
-	s.mu.Unlock()
-	if err := s.writer(key).append(key, data); err != nil {
-		return err
-	}
-	s.puts.Add(1)
-	return nil
+	return s.putPayload(key, data)
 }
 
 // putLoose writes one loose entry file atomically (temp file + rename), so

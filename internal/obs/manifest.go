@@ -113,6 +113,19 @@ type StoreRollup struct {
 	IndexLoadNanos int64  `json:"indexLoadNanos"`
 }
 
+// ShardRollup summarizes one farm worker process on the coordinator's
+// manifest, distilled from the worker's own manifest (which remains the
+// detailed record, under the shard store's runs/ directory).
+type ShardRollup struct {
+	Shard     int    `json:"shard"`
+	RunID     string `json:"runId,omitempty"`
+	Trials    int    `json:"trials"`
+	Warm      int    `json:"warm"`
+	WallNanos int64  `json:"wallNanos"`
+	Error     string `json:"error,omitempty"`
+	SpanNanos
+}
+
 // Manifest is the complete run record. The embedded SpanNanos is the
 // whole-run phase rollup (the sum over Workers and, equivalently, over
 // Points plus any trials committed outside a declared point).
@@ -138,6 +151,7 @@ type Manifest struct {
 	Points  []PointRollup  `json:"points,omitempty"`
 	Workers []WorkerRollup `json:"workers,omitempty"`
 	Store   *StoreRollup   `json:"store,omitempty"`
+	Shards  []ShardRollup  `json:"shards,omitempty"`
 }
 
 // manifestLocked builds the manifest snapshot. Caller holds r.mu.
@@ -185,6 +199,7 @@ func (r *Rec) manifestLocked() Manifest {
 		s := *r.store
 		m.Store = &s
 	}
+	m.Shards = append([]ShardRollup(nil), r.shards...)
 	return m
 }
 

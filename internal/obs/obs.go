@@ -227,6 +227,7 @@ type Rec struct {
 	workers []*WorkerRec
 
 	store        *StoreRollup
+	shards       []ShardRollup
 	flushes      int
 	flushRecords int
 	flushBytes   int64
@@ -360,6 +361,16 @@ func (r *Rec) SetStore(s StoreRollup) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.store = &s
+}
+
+// SetShards attaches the farm workers' per-shard rollups to the manifest.
+func (r *Rec) SetShards(shards []ShardRollup) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.shards = append([]ShardRollup(nil), shards...)
 }
 
 // Close finalizes the run: a last progress render, the run_done event, and
